@@ -1,0 +1,133 @@
+package lbmib
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"lbmib/internal/fiber"
+	"lbmib/internal/grid"
+)
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// sheetState is the serialized form of one fiber sheet.
+type sheetState struct {
+	NumFibers, NodesPerFiber int
+	Ks, Kb                   float64
+	RestAlong, RestAcross    float64
+	X, Vel                   [][3]float64
+	Bend, Stretch, Force     [][3]float64
+	Fixed                    []bool
+}
+
+// checkpointState is the serialized simulation state. The Config is not
+// stored: a checkpoint is restored into a Simulation built from the same
+// (or a compatible) Config, which lets a run resume on a different engine
+// or thread count.
+type checkpointState struct {
+	Version    int
+	Step       int
+	NX, NY, NZ int
+	Nodes      []grid.Node
+	Sheets     []sheetState
+}
+
+// Checkpoint serializes the complete simulation state (fluid
+// distributions, macroscopic fields, sheet geometry and forces, step
+// count) to w with encoding/gob. The state is engine-independent: a run
+// checkpointed from the sequential engine restores onto the cube engine
+// and vice versa.
+func (s *Simulation) Checkpoint(w io.Writer) error {
+	g := s.eng.snapshot()
+	st := checkpointState{
+		Version: checkpointVersion,
+		Step:    s.StepCount(),
+		NX:      g.NX, NY: g.NY, NZ: g.NZ,
+		Nodes: g.Nodes,
+	}
+	for _, sh := range s.sheets {
+		st.Sheets = append(st.Sheets, sheetState{
+			NumFibers: sh.NumFibers, NodesPerFiber: sh.NodesPerFiber,
+			Ks: sh.Ks, Kb: sh.Kb,
+			RestAlong: sh.RestAlong, RestAcross: sh.RestAcross,
+			X: sh.X, Vel: sh.Vel,
+			Bend: sh.BendForce, Stretch: sh.StretchForce, Force: sh.Force,
+			Fixed: sh.Fixed,
+		})
+	}
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// Restore builds a Simulation from cfg and overwrites its state with a
+// checkpoint previously written by Checkpoint. The configuration's grid
+// dimensions and sheet shapes must match the checkpoint; engine kind,
+// thread count and cube size are free to differ.
+func Restore(r io.Reader, cfg Config) (*Simulation, error) {
+	var st checkpointState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("lbmib: decoding checkpoint: %w", err)
+	}
+	if st.Version != checkpointVersion {
+		return nil, fmt.Errorf("lbmib: checkpoint version %d, want %d", st.Version, checkpointVersion)
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NX != st.NX || cfg.NY != st.NY || cfg.NZ != st.NZ {
+		sim.Close()
+		return nil, fmt.Errorf("lbmib: checkpoint grid %d×%d×%d, config %d×%d×%d",
+			st.NX, st.NY, st.NZ, cfg.NX, cfg.NY, cfg.NZ)
+	}
+	if len(st.Nodes) != st.NX*st.NY*st.NZ {
+		sim.Close()
+		return nil, fmt.Errorf("lbmib: checkpoint holds %d nodes, want %d", len(st.Nodes), st.NX*st.NY*st.NZ)
+	}
+	if len(st.Sheets) != len(sim.sheets) {
+		sim.Close()
+		return nil, fmt.Errorf("lbmib: checkpoint has %d sheets, config builds %d",
+			len(st.Sheets), len(sim.sheets))
+	}
+	for i, ss := range st.Sheets {
+		sh := sim.sheets[i]
+		if ss.NumFibers != sh.NumFibers || ss.NodesPerFiber != sh.NodesPerFiber {
+			sim.Close()
+			return nil, fmt.Errorf("lbmib: sheet %d shape %d×%d in checkpoint, %d×%d in config",
+				i, ss.NumFibers, ss.NodesPerFiber, sh.NumFibers, sh.NodesPerFiber)
+		}
+		if err := restoreSheet(sh, ss); err != nil {
+			sim.Close()
+			return nil, fmt.Errorf("lbmib: sheet %d: %w", i, err)
+		}
+	}
+	g := &grid.Grid{NX: st.NX, NY: st.NY, NZ: st.NZ, Nodes: st.Nodes}
+	if err := sim.eng.load(g); err != nil {
+		sim.Close()
+		return nil, err
+	}
+	sim.stepOffset = st.Step
+	return sim, nil
+}
+
+func restoreSheet(sh *fiber.Sheet, ss sheetState) error {
+	n := sh.NumNodes()
+	for _, arr := range [][][3]float64{ss.X, ss.Vel, ss.Bend, ss.Stretch, ss.Force} {
+		if len(arr) != n {
+			return fmt.Errorf("array of %d nodes, want %d", len(arr), n)
+		}
+	}
+	if len(ss.Fixed) != n {
+		return fmt.Errorf("fixed mask of %d nodes, want %d", len(ss.Fixed), n)
+	}
+	copy(sh.X, ss.X)
+	copy(sh.Vel, ss.Vel)
+	copy(sh.BendForce, ss.Bend)
+	copy(sh.StretchForce, ss.Stretch)
+	copy(sh.Force, ss.Force)
+	copy(sh.Fixed, ss.Fixed)
+	sh.Ks, sh.Kb = ss.Ks, ss.Kb
+	sh.RestAlong, sh.RestAcross = ss.RestAlong, ss.RestAcross
+	return nil
+}

@@ -1,0 +1,180 @@
+package lbmib
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// A checkpointed run resumed from the file must continue exactly as if it
+// had never stopped.
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := baseCfg(Sequential)
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	ref.Run(14)
+
+	split, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split.Run(6)
+	var buf bytes.Buffer
+	if err := split.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	split.Close()
+
+	resumed, err := Restore(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.StepCount() != 6 {
+		t.Fatalf("restored StepCount = %d, want 6", resumed.StepCount())
+	}
+	resumed.Run(8)
+	if resumed.StepCount() != 14 {
+		t.Fatalf("StepCount after resume = %d, want 14", resumed.StepCount())
+	}
+
+	// Sequential physics is deterministic, so the resumed run must agree
+	// with the uninterrupted one bitwise.
+	for z := 0; z < 16; z++ {
+		if ref.FluidVelocity(7, 8, z) != resumed.FluidVelocity(7, 8, z) {
+			t.Fatalf("velocity differs at z=%d after resume", z)
+		}
+	}
+	rp := ref.SheetPositions()
+	sp := resumed.SheetPositions()
+	for i := range rp {
+		if rp[i] != sp[i] {
+			t.Fatalf("sheet node %d differs after resume", i)
+		}
+	}
+}
+
+// The checkpoint is engine-independent: save from sequential, restore
+// onto the cube engine.
+func TestCheckpointCrossEngine(t *testing.T) {
+	seqCfg := baseCfg(Sequential)
+	a, err := New(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(7)
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	cubeCfg := baseCfg(CubeBased)
+	b, err := Restore(&buf, cubeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.Run(5)
+	b.Run(5)
+	for z := 0; z < 16; z++ {
+		va, vb := a.FluidVelocity(7, 8, z), b.FluidVelocity(7, 8, z)
+		for d := 0; d < 3; d++ {
+			if math.Abs(va[d]-vb[d]) > 1e-9 {
+				t.Fatalf("cross-engine resume diverges at z=%d: %v vs %v", z, va, vb)
+			}
+		}
+	}
+	a.Close()
+}
+
+func TestRestoreRejectsMismatchedGrid(t *testing.T) {
+	s, err := New(baseCfg(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := baseCfg(Sequential)
+	bad.NX = 32
+	if _, err := Restore(&buf, bad); err == nil || !strings.Contains(err.Error(), "grid") {
+		t.Fatalf("mismatched grid accepted: %v", err)
+	}
+}
+
+func TestRestoreRejectsMismatchedSheets(t *testing.T) {
+	s, err := New(baseCfg(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := baseCfg(Sequential)
+	bad.Sheet = nil
+	if _, err := Restore(&buf, bad); err == nil || !strings.Contains(err.Error(), "sheet") {
+		t.Fatalf("mismatched sheet count accepted: %v", err)
+	}
+	bad2 := baseCfg(Sequential)
+	bad2.Sheet.NumFibers = 5
+	buf2 := bytes.Buffer{}
+	if err := s.Checkpoint(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(&buf2, bad2); err == nil {
+		t.Fatal("mismatched sheet shape accepted")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore(bytes.NewBufferString("not a checkpoint"), baseCfg(Sequential)); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+}
+
+func TestCheckpointPreservesFixedNodes(t *testing.T) {
+	cfg := baseCfg(OpenMP)
+	cfg.Sheet.FixedRadius = 1.5
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r, err := Restore(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	before := r.SheetPositions()
+	r.Run(10)
+	after := r.SheetPositions()
+	// At least the fastened center nodes must not have moved.
+	moved, still := 0, 0
+	for i := range before {
+		if before[i] == after[i] {
+			still++
+		} else {
+			moved++
+		}
+	}
+	if still == 0 {
+		t.Fatal("fixed nodes lost in checkpoint (all nodes moved)")
+	}
+	if moved == 0 {
+		t.Fatal("no free node moved after restore")
+	}
+}

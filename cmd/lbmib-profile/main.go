@@ -1,0 +1,62 @@
+// Command lbmib-profile runs the sequential LBM-IB solver under the
+// per-kernel profiler and prints a gprof-style report — the tooling behind
+// the paper's Table I, usable on any problem size.
+//
+//	lbmib-profile -nx 124 -ny 64 -nz 64 -sheet 52x52 -steps 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/fiber"
+	"lbmib/internal/perfmon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbmib-profile: ")
+	var (
+		nx        = flag.Int("nx", 64, "fluid nodes along x")
+		ny        = flag.Int("ny", 32, "fluid nodes along y")
+		nz        = flag.Int("nz", 32, "fluid nodes along z")
+		steps     = flag.Int("steps", 25, "time steps to profile")
+		tau       = flag.Float64("tau", 0.7, "BGK relaxation time")
+		sheetDims = flag.String("sheet", "26x26", "fiber sheet as FIBERSxNODES; empty for fluid-only")
+	)
+	flag.Parse()
+
+	var sheet *fiber.Sheet
+	if *sheetDims != "" {
+		var nf, nn int
+		if _, err := fmt.Sscanf(*sheetDims, "%dx%d", &nf, &nn); err != nil {
+			log.Fatalf("bad -sheet %q", *sheetDims)
+		}
+		w := float64(nf) * 0.4
+		sheet = fiber.NewSheet(fiber.Params{
+			NumFibers: nf, NodesPerFiber: nn, Width: w, Height: w,
+			Origin: fiber.Vec3{float64(*nx) / 4, float64(*ny)/2 - w/2, float64(*nz)/2 - w/2},
+			Ks:     0.05, Kb: 0.001,
+		})
+	}
+
+	s := core.NewSolver(core.Config{
+		NX: *nx, NY: *ny, NZ: *nz, Tau: *tau,
+		BodyForce: [3]float64{2e-5, 0, 0}, Sheet: sheet,
+	})
+	prof := &perfmon.KernelProfile{}
+	s.Observer = prof
+
+	fmt.Printf("profiling %d steps of %d×%d×%d", *steps, *nx, *ny, *nz)
+	if sheet != nil {
+		fmt.Printf(" with %d fiber nodes", sheet.NumNodes())
+	}
+	fmt.Println()
+	t0 := time.Now()
+	s.Run(*steps)
+	fmt.Printf("wall time %v\n\n", time.Since(t0).Round(time.Millisecond))
+	fmt.Print(prof.Report())
+}

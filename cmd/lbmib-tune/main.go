@@ -1,0 +1,54 @@
+// Command lbmib-tune auto-tunes the cube-based solver's cube size for the
+// current host by timing short trials of the real solver — the paper's
+// auto-tuning future-work item.
+//
+//	lbmib-tune -nx 64 -ny 32 -nz 32 -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lbmib/internal/fiber"
+	"lbmib/internal/tune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbmib-tune: ")
+	var (
+		nx      = flag.Int("nx", 32, "fluid nodes along x")
+		ny      = flag.Int("ny", 32, "fluid nodes along y")
+		nz      = flag.Int("nz", 32, "fluid nodes along z")
+		threads = flag.Int("threads", 1, "worker threads")
+		steps   = flag.Int("steps", 5, "timed steps per trial")
+		reps    = flag.Int("reps", 3, "repetitions per trial (fastest wins)")
+		sheetN  = flag.Int("sheet", 16, "fiber sheet edge (0 for fluid-only)")
+	)
+	flag.Parse()
+
+	opt := tune.Options{
+		NX: *nx, NY: *ny, NZ: *nz,
+		Threads: *threads, Tau: 0.7,
+		BodyForce:     [3]float64{2e-5, 0, 0},
+		StepsPerTrial: *steps,
+		Repetitions:   *reps,
+	}
+	if *sheetN > 0 {
+		n := *sheetN
+		opt.SheetSpec = func() *fiber.Sheet {
+			w := float64(n) * 0.4
+			return fiber.NewSheet(fiber.Params{
+				NumFibers: n, NodesPerFiber: n, Width: w, Height: w,
+				Origin: fiber.Vec3{float64(*nx) / 4, float64(*ny)/2 - w/2, float64(*nz)/2 - w/2},
+				Ks:     0.05, Kb: 0.001,
+			})
+		}
+	}
+	r, err := tune.Tune(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(r.Render())
+}

@@ -1,0 +1,74 @@
+// Cavity runs the classic lid-driven cavity benchmark with a flexible
+// filament released near the floor: the sliding lid (the moving-wall
+// boundary condition) spins up a primary vortex, and the filament drifts
+// with the bottom return flow. A pure-fluid cavity is a standard CFD
+// validation case; the immersed filament shows the FSI coupling working
+// inside it.
+//
+//	go run ./examples/cavity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"lbmib"
+)
+
+func main() {
+	const (
+		n     = 32
+		steps = 600
+		lidU  = 0.05
+	)
+	sim, err := lbmib.New(lbmib.Config{
+		NX: n, NY: n, NZ: n,
+		Tau:         0.8,
+		BoundaryX:   lbmib.NoSlip,
+		BoundaryY:   lbmib.NoSlip,
+		BoundaryZ:   lbmib.NoSlip,
+		LidVelocity: [3]float64{lidU, 0, 0}, // the z-max wall slides in +x
+		Sheet: &lbmib.SheetConfig{
+			// A narrow filament standing on the cavity floor.
+			NumFibers:     3,
+			NodesPerFiber: 12,
+			Width:         1.5,
+			Height:        10,
+			Origin:        [3]float64{n / 2, n/2 - 0.75, 1.5},
+			Ks:            0.08,
+			Kb:            0.004,
+		},
+		Solver:   lbmib.CubeBased,
+		Threads:  4,
+		CubeSize: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	fmt.Printf("lid-driven cavity %d³, lid speed %.2f, filament near the floor\n", n, lidU)
+	fmt.Println("step   lid-layer-u    mid-cavity-u    filament-drift")
+	base, _ := sim.SheetCentroid()
+	for done := 0; done < steps; {
+		sim.Run(150)
+		done += 150
+		lid := sim.FluidVelocity(n/2, n/2, n-1)[0]
+		mid := sim.FluidVelocity(n/2, n/2, n/2)[0]
+		c, _ := sim.SheetCentroid()
+		fmt.Printf("%4d   %11.5f   %13.6f   %13.4f\n", done, lid, mid, c[0]-base[0])
+	}
+
+	// Sanity: the near-lid fluid follows the lid, and by mass
+	// conservation the return flow at the bottom runs the other way.
+	top := sim.FluidVelocity(n/2, n/2, n-1)[0]
+	bottom := sim.FluidVelocity(n/2, n/2, 2)[0]
+	if !(top > 0) || !(bottom < 0) {
+		log.Fatalf("no primary vortex: top %g, bottom %g", top, bottom)
+	}
+	if math.IsNaN(top) {
+		log.Fatal("diverged")
+	}
+	fmt.Printf("primary vortex established: u(top)=%.5f, u(bottom)=%.6f (return flow)\n", top, bottom)
+}

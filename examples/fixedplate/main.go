@@ -1,0 +1,98 @@
+// Fixedplate reproduces the scenario of the paper's Figure 1: a flexible
+// plate fastened in its middle region and immersed in a moving viscous
+// fluid. The fastened center holds still while the free rim is blown
+// downstream, so the plate bellies into a cup shape; the program reports
+// the rim deflection over time and writes the final geometry as VTK.
+//
+//	go run ./examples/fixedplate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"lbmib"
+)
+
+func main() {
+	const (
+		nx, ny, nz = 32, 32, 32
+		steps      = 400
+	)
+	sheet := &lbmib.SheetConfig{
+		NumFibers:     17,
+		NodesPerFiber: 17,
+		Width:         10,
+		Height:        10,
+		Origin:        [3]float64{12, float64(ny)/2 - 5, float64(nz)/2 - 5},
+		Ks:            0.08,
+		Kb:            0.002,
+		FixedRadius:   2.5, // fasten the middle region, as in Figure 1
+	}
+	sim, err := lbmib.New(lbmib.Config{
+		NX: nx, NY: ny, NZ: nz,
+		Tau:       0.7,
+		BodyForce: [3]float64{5e-5, 0, 0},
+		BoundaryZ: lbmib.NoSlip, // tunnel walls bound the driven flow
+		Sheet:     sheet,
+		Solver:    lbmib.OpenMP,
+		Threads:   4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	centerX := sheet.Origin[0]
+	fmt.Printf("flexible plate (%d×%d nodes) fastened in the middle, %d steps\n",
+		sheet.NumFibers, sheet.NodesPerFiber, steps)
+	fmt.Println("step   rim-deflection   center-drift   cup-depth   max-speed")
+	for done := 0; done < steps; {
+		sim.Run(100)
+		done += 100
+		rim, center := deflections(sim, sheet)
+		fmt.Printf("%4d   %14.4f   %12.6f   %9.4f   %9.5f\n",
+			done, rim-centerX, center-centerX, rim-center, sim.MaxVelocity())
+	}
+
+	f, err := os.Create("fixedplate.vtk")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sim.WriteSheetVTK(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final plate geometry written to fixedplate.vtk")
+
+	rim, center := deflections(sim, sheet)
+	if rim-center <= 0 {
+		log.Fatal("expected the free rim to deflect past the fastened center")
+	}
+	fmt.Printf("the plate cups downstream: rim leads the fastened center by %.3f lattice units\n",
+		rim-center)
+}
+
+// deflections returns the mean x position of the plate's rim (border
+// nodes) and of its fastened center node.
+func deflections(sim *lbmib.Simulation, sc *lbmib.SheetConfig) (rim, center float64) {
+	pos := sim.SheetPositions()
+	nf, nn := sc.NumFibers, sc.NodesPerFiber
+	count := 0
+	for f := 0; f < nf; f++ {
+		for k := 0; k < nn; k++ {
+			if f == 0 || f == nf-1 || k == 0 || k == nn-1 {
+				rim += pos[f*nn+k][0]
+				count++
+			}
+		}
+	}
+	rim /= float64(count)
+	center = pos[(nf/2)*nn+nn/2][0]
+	if math.IsNaN(rim) || math.IsNaN(center) {
+		log.Fatal("simulation diverged")
+	}
+	return rim, center
+}

@@ -1,0 +1,50 @@
+// Quickstart: the smallest complete LBM-IB simulation — a 16×16×16
+// periodic fluid box driven by a gentle body force, with an 8×8 flexible
+// sheet immersed in it. The program advances 100 time steps on the
+// cube-based engine and prints how the sheet rides the flow.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lbmib"
+)
+
+func main() {
+	sim, err := lbmib.New(lbmib.Config{
+		NX: 16, NY: 16, NZ: 16,
+		Viscosity: 0.05,                   // lattice units; τ = 3ν + ½
+		BodyForce: [3]float64{3e-5, 0, 0}, // pressure-gradient surrogate along x
+		BoundaryZ: lbmib.NoSlip,           // tunnel walls: the shear profile bends the sheet
+		Sheet: &lbmib.SheetConfig{
+			NumFibers:     8,
+			NodesPerFiber: 8,
+			Width:         5,
+			Height:        5,
+			Origin:        [3]float64{4, 5.5, 5.5},
+			Ks:            0.05,  // stretching stiffness
+			Kb:            0.001, // bending stiffness
+		},
+		Solver:   lbmib.CubeBased,
+		Threads:  2,
+		CubeSize: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	fmt.Println("step   sheet-centroid-x   max-fluid-speed   elastic-energy")
+	for i := 0; i < 5; i++ {
+		sim.Run(20)
+		c, _ := sim.SheetCentroid()
+		e, _ := sim.SheetEnergy()
+		fmt.Printf("%4d   %16.4f   %15.6f   %14.3e\n",
+			sim.StepCount(), c[0], sim.MaxVelocity(), e)
+	}
+	fmt.Println("\nThe sheet advects downstream (+x) while bending in the flow;")
+	fmt.Println("swap Solver for lbmib.Sequential or lbmib.OpenMP to compare engines.")
+}

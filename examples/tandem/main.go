@@ -1,0 +1,62 @@
+// Tandem simulates two flexible sheets in tandem in a tunnel flow — the
+// multi-sheet capability the paper describes ("a 3D flexible structure
+// ... can be comprised of a number of 2-D sheets"). The upstream sheet
+// sheds a disturbed wake that the downstream sheet rides, so the pair
+// drifts apart more slowly than two isolated sheets would.
+//
+//	go run ./examples/tandem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lbmib"
+)
+
+func main() {
+	const (
+		nx, ny, nz = 64, 24, 24
+		steps      = 400
+		gap        = 14.0 // initial streamwise separation
+	)
+	mkSheet := func(x float64) *lbmib.SheetConfig {
+		return &lbmib.SheetConfig{
+			NumFibers: 12, NodesPerFiber: 12,
+			Width: 7, Height: 7,
+			Origin: [3]float64{x, float64(ny)/2 - 3.5, float64(nz)/2 - 3.5},
+			Ks:     0.04, Kb: 0.001,
+		}
+	}
+	sim, err := lbmib.New(lbmib.Config{
+		NX: nx, NY: ny, NZ: nz,
+		Tau:       0.7,
+		BodyForce: [3]float64{4e-5, 0, 0},
+		BoundaryZ: lbmib.NoSlip,
+		Sheets:    []*lbmib.SheetConfig{mkSheet(10), mkSheet(10 + gap)},
+		Solver:    lbmib.TaskScheduled,
+		Threads:   4,
+		CubeSize:  8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sim.Close()
+
+	fmt.Printf("two %d-node sheets in tandem, %d steps (task-scheduled engine)\n",
+		12*12, steps)
+	fmt.Println("step   upstream-x   downstream-x   separation")
+	for done := 0; done < steps; {
+		sim.Run(100)
+		done += 100
+		a, _ := sim.SheetCentroidAt(0)
+		b, _ := sim.SheetCentroidAt(1)
+		fmt.Printf("%4d   %10.3f   %12.3f   %10.3f\n", done, a[0], b[0], b[0]-a[0])
+	}
+	a, _ := sim.SheetCentroidAt(0)
+	b, _ := sim.SheetCentroidAt(1)
+	if !(b[0] > a[0]) {
+		log.Fatal("sheets lost their ordering")
+	}
+	fmt.Printf("final separation %.3f lattice units (started at %.1f)\n", b[0]-a[0], gap)
+}

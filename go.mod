@@ -1,0 +1,3 @@
+module lbmib
+
+go 1.22

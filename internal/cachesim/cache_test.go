@@ -1,0 +1,261 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"lbmib/internal/machine"
+)
+
+func mustCache(t *testing.T, size, line, assoc int) *Cache {
+	t.Helper()
+	c, err := NewCache(size, line, assoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCacheRejectsBadGeometry(t *testing.T) {
+	cases := [][3]int{{0, 64, 4}, {1024, 0, 4}, {1024, 64, 0}, {1000, 64, 4}, {96 * 48, 48, 4}}
+	for _, c := range cases {
+		if _, err := NewCache(c[0], c[1], c[2]); err == nil {
+			t.Fatalf("NewCache(%v) accepted invalid geometry", c)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustCache(t, 1024, 64, 2)
+	if c.Access(0x100) {
+		t.Fatal("cold access reported hit")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("second access to same address missed")
+	}
+	if !c.Access(0x13f) { // same 64B line as 0x100
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x140) { // next line
+		t.Fatal("different line reported hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 4 accesses 2 misses", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 64B lines, 2 sets (256 B total). Addresses 0, 256, 512 all
+	// map to set 0; the third insert must evict the least recently used.
+	c := mustCache(t, 256, 64, 2)
+	c.Access(0)
+	c.Access(256)
+	c.Access(0)   // refresh line 0: LRU is now 256
+	c.Access(512) // evicts 256
+	if !c.Access(0) {
+		t.Fatal("line 0 was evicted despite being MRU")
+	}
+	if c.Access(256) {
+		t.Fatal("line 256 should have been evicted")
+	}
+}
+
+func TestFullyAssociativeHoldsWorkingSet(t *testing.T) {
+	// 8 lines, fully associative: a working set of 8 lines must all hit on
+	// the second pass.
+	c := mustCache(t, 8*64, 64, 8)
+	for pass := 0; pass < 2; pass++ {
+		for i := uint64(0); i < 8; i++ {
+			hit := c.Access(i * 64)
+			if pass == 1 && !hit {
+				t.Fatalf("line %d missed on pass 2", i)
+			}
+		}
+	}
+}
+
+func TestStreamingMissesEveryLine(t *testing.T) {
+	c := mustCache(t, 32<<10, 64, 4)
+	// One pass over 1 MB, one access per line: all cold misses.
+	for a := uint64(0); a < 1<<20; a += 64 {
+		c.Access(a)
+	}
+	s := c.Stats()
+	if s.Misses != s.Accesses {
+		t.Fatalf("streaming pass: %d misses of %d accesses, want all misses", s.Misses, s.Accesses)
+	}
+}
+
+func TestMissRateSmallWorkingSet(t *testing.T) {
+	c := mustCache(t, 32<<10, 64, 4)
+	rng := rand.New(rand.NewSource(1))
+	// 16 KB working set fits in a 32 KB cache: after warm-up, miss rate ≈ 0.
+	for i := 0; i < 2000; i++ {
+		c.Access(uint64(rng.Intn(16 << 10)))
+	}
+	c.ResetStats()
+	for i := 0; i < 20000; i++ {
+		c.Access(uint64(rng.Intn(16 << 10)))
+	}
+	if mr := c.Stats().MissRate(); mr > 0.01 {
+		t.Fatalf("warm small working set miss rate %.3f, want ~0", mr)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := mustCache(t, 1024, 64, 2)
+	c.Access(0x40)
+	c.ResetStats()
+	if !c.Access(0x40) {
+		t.Fatal("ResetStats evicted cache contents")
+	}
+	if s := c.Stats(); s.Accesses != 1 || s.Misses != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestStatsMissRateZeroWhenIdle(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Fatal("idle miss rate must be 0")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h, err := NewHierarchy(machine.Thog(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold access goes to memory; repeat hits L1.
+	if lv := h.Access(0, 0x1000, false); lv != Memory {
+		t.Fatalf("cold access satisfied at %v, want memory", lv)
+	}
+	if lv := h.Access(0, 0x1000, false); lv != L1Hit {
+		t.Fatalf("warm access satisfied at %v, want L1", lv)
+	}
+	// A different core missing L1 but sharing the L2 pair hits L2.
+	if lv := h.Access(1, 0x1000, false); lv != L2Hit {
+		t.Fatalf("L2-shared access satisfied at %v, want L2", lv)
+	}
+	// Core 2 shares only L3 with cores 0-1 on thog (L2 per 2 cores).
+	if lv := h.Access(2, 0x1000, false); lv != L3Hit {
+		t.Fatalf("L3-shared access satisfied at %v, want L3", lv)
+	}
+}
+
+func TestHierarchyMissRateDefinition(t *testing.T) {
+	h, err := NewHierarchy(machine.Thog(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch N distinct lines once: L1 miss rate 1.0, and every L1 miss
+	// becomes an L2 access that also misses.
+	for a := uint64(0); a < 256; a++ {
+		h.Access(0, a*64, false)
+	}
+	l1 := h.LevelStats(L1Hit)
+	l2 := h.LevelStats(L2Hit)
+	if l1.Accesses != 256 || l1.Misses != 256 {
+		t.Fatalf("L1 stats %+v", l1)
+	}
+	if l2.Accesses != l1.Misses {
+		t.Fatalf("L2 accesses %d must equal L1 misses %d", l2.Accesses, l1.Misses)
+	}
+}
+
+func TestHierarchyRejectsBadCores(t *testing.T) {
+	if _, err := NewHierarchy(machine.Thog(), 0); err == nil {
+		t.Fatal("accepted 0 cores")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if L1Hit.String() != "L1" || Memory.String() != "memory" || Level(0).String() != "unknown" {
+		t.Fatal("Level names wrong")
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	w := &Workload{NX: 8, NY: 8, NZ: 8, Threads: 0}
+	h, _ := NewHierarchy(machine.Thog(), 1)
+	if err := w.ReplayStep(h); err == nil {
+		t.Fatal("accepted 0 threads")
+	}
+	w = &Workload{NX: 10, NY: 8, NZ: 8, Threads: 1, CubeSize: 4}
+	if err := w.ReplayStep(h); err == nil {
+		t.Fatal("accepted indivisible cube size")
+	}
+}
+
+// The locality claim of the paper, testable in miniature: for a grid much
+// larger than L2, the cube layout's step replay must produce a lower L2
+// miss rate than the slab layout's.
+func TestCubeLayoutImprovesL2MissRate(t *testing.T) {
+	m := machine.Thog()
+	run := func(cubeSize int) float64 {
+		h, err := NewHierarchy(m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &Workload{NX: 64, NY: 32, NZ: 32, CubeSize: cubeSize, Threads: 2,
+			FiberRows: 8, FiberCols: 8}
+		if err := w.ReplayStep(h); err != nil {
+			t.Fatal(err)
+		}
+		_, l2, _ := h.MissRates()
+		return l2
+	}
+	slab := run(0)
+	cube := run(16)
+	if cube >= slab {
+		t.Fatalf("cube layout L2 miss rate %.3f not below slab %.3f", cube, slab)
+	}
+}
+
+// Both layouts generate exactly the same number of data accesses — the
+// layouts change placement, not work.
+func TestLayoutsSameAccessCount(t *testing.T) {
+	m := machine.Thog()
+	count := func(cubeSize int) uint64 {
+		h, err := NewHierarchy(m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &Workload{NX: 32, NY: 16, NZ: 16, CubeSize: cubeSize, Threads: 2}
+		if err := w.ReplayStep(h); err != nil {
+			t.Fatal(err)
+		}
+		return h.LevelStats(L1Hit).Accesses
+	}
+	if a, b := count(0), count(8); a != b {
+		t.Fatalf("access counts differ between layouts: %d vs %d", a, b)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	m := machine.Thog()
+	run := func() (float64, float64) {
+		h, err := NewHierarchy(m, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &Workload{NX: 32, NY: 16, NZ: 16, Threads: 4, FiberRows: 4, FiberCols: 4}
+		if err := w.ReplayStep(h); err != nil {
+			t.Fatal(err)
+		}
+		l1, l2, _ := h.MissRates()
+		return l1, l2
+	}
+	a1, a2 := run()
+	b1, b2 := run()
+	if a1 != b1 || a2 != b2 {
+		t.Fatal("trace replay not deterministic")
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h, _ := NewHierarchy(machine.Thog(), 1)
+	for i := 0; i < b.N; i++ {
+		h.Access(0, uint64(i)*8, false)
+	}
+}

@@ -1,0 +1,120 @@
+// Package cluster implements the paper's immediate future work (Section
+// VIII): extending the LBM-IB solver "from shared memory manycore systems
+// to extreme-scale distributed memory manycore systems". It is a
+// distributed-memory solver over an explicit message-passing layer — no
+// rank ever touches another rank's fluid storage; everything crosses
+// Comm channels, exactly as it would cross MPI on a cluster.
+//
+// Decomposition and communication scheme:
+//
+//   - the fluid grid is split into contiguous x-slabs, one rank each,
+//     with one ghost plane on either side;
+//   - after the fused collide+stream over its owned planes, each rank
+//     sends the distribution values it streamed into its ghost planes to
+//     the ring neighbors (5 lattice directions cross each face), and
+//     merges the values received for its own boundary planes — the
+//     standard LBM halo exchange;
+//   - the fiber structure is replicated: every rank runs kernels 1–3 on
+//     its replica and spreads forces only into fluid nodes it owns, so
+//     per-node force accumulation happens in exactly the sequential
+//     order; interpolation (kernel 8) computes per-rank partial sums over
+//     owned planes, and an ordered reduction adds the partials in rank
+//     order — which is plane order, i.e. again the sequential summation
+//     order. The distributed solver is therefore bitwise identical to
+//     the sequential reference, which the tests assert.
+package cluster
+
+import "fmt"
+
+// message is one point-to-point transfer.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// World is the communication fabric of a fixed set of ranks: a matrix of
+// buffered channels, one per (sender, receiver) pair.
+type World struct {
+	size  int
+	chans [][]chan message
+}
+
+// NewWorld creates the fabric for size ranks.
+func NewWorld(size int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("cluster: world size %d", size)
+	}
+	w := &World{size: size, chans: make([][]chan message, size)}
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, size)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan message, 8)
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Comm returns rank r's endpoint.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("cluster: rank %d of %d", r, w.size))
+	}
+	return &Comm{w: w, rank: r}
+}
+
+// Rank returns this endpoint's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Send transfers data to rank `to` under the given tag. The data slice is
+// handed off; the sender must not reuse it.
+func (c *Comm) Send(to, tag int, data []float64) {
+	c.w.chans[c.rank][to] <- message{tag: tag, data: data}
+}
+
+// Recv receives the next message from rank `from`, which must carry the
+// expected tag — messages between a pair of ranks are ordered, so a tag
+// mismatch is a protocol bug and panics.
+func (c *Comm) Recv(from, tag int) []float64 {
+	m := <-c.w.chans[from][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("cluster: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
+	}
+	return m.data
+}
+
+// ReduceOrdered adds every rank's partial vector in rank order and
+// returns the total to all ranks: rank 0 gathers 1, 2, …, n−1 (so the
+// floating-point summation order is deterministic), then broadcasts. All
+// ranks must call it with equal-length slices and the same tag.
+func (c *Comm) ReduceOrdered(tag int, partial []float64) []float64 {
+	if c.w.size == 1 {
+		return partial
+	}
+	if c.rank == 0 {
+		total := append([]float64(nil), partial...)
+		for r := 1; r < c.w.size; r++ {
+			p := c.Recv(r, tag)
+			for i := range total {
+				total[i] += p[i]
+			}
+		}
+		for r := 1; r < c.w.size; r++ {
+			c.Send(r, tag+1, append([]float64(nil), total...))
+		}
+		return total
+	}
+	c.Send(0, tag, partial)
+	return c.Recv(0, tag+1)
+}

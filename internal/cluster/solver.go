@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lbmib/internal/core"
+	"lbmib/internal/fiber"
+	"lbmib/internal/grid"
+	"lbmib/internal/ibm"
+	"lbmib/internal/lattice"
+)
+
+// Config assembles a distributed LBM-IB problem. The fluid grid is
+// decomposed into contiguous x-slabs, one per rank; NX must be divisible
+// by Ranks. The x axis is periodic by construction (the ranks form a
+// ring); the y and z axes take the usual boundary conditions.
+type Config struct {
+	NX, NY, NZ  int
+	Ranks       int
+	Steps       int
+	Tau         float64
+	BodyForce   [3]float64
+	BCY, BCZ    core.BC
+	LidVelocity [3]float64
+	// Sheets are templates for the immersed structure; each rank works
+	// on its own replica and the replicas stay in lockstep.
+	Sheets []*fiber.Sheet
+}
+
+// Result carries the gathered final state and communication statistics.
+type Result struct {
+	Fluid  *grid.Grid
+	Sheets []*fiber.Sheet
+
+	// Messages and FloatsSent count every point-to-point transfer
+	// (halo exchanges, reductions, the final gather).
+	Messages   int64
+	FloatsSent int64
+}
+
+// Run executes the distributed simulation: one goroutine per rank, all
+// communication through the message fabric, and a final gather of the
+// fluid planes onto rank 0.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("cluster: %d ranks", cfg.Ranks)
+	}
+	if cfg.NX < cfg.Ranks || cfg.NX%cfg.Ranks != 0 {
+		return nil, fmt.Errorf("cluster: NX %d not divisible into %d slabs", cfg.NX, cfg.Ranks)
+	}
+	if cfg.NY < 1 || cfg.NZ < 1 {
+		return nil, fmt.Errorf("cluster: bad grid %d×%d×%d", cfg.NX, cfg.NY, cfg.NZ)
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 0.6
+	}
+	if cfg.Tau <= 0.5 {
+		return nil, fmt.Errorf("cluster: tau %g must exceed 0.5", cfg.Tau)
+	}
+	world, err := NewWorld(cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	var wg sync.WaitGroup
+	ranks := make([]*rankState, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		ranks[r] = newRank(cfg, world.Comm(r))
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(rs *rankState) {
+			defer wg.Done()
+			for step := 0; step < cfg.Steps; step++ {
+				rs.timeStep(step)
+			}
+		}(ranks[r])
+	}
+	wg.Wait()
+
+	// Gather the owned planes into a full grid (rank 0's replica provides
+	// the structure state; all replicas are identical).
+	full := grid.New(cfg.NX, cfg.NY, cfg.NZ)
+	for _, rs := range ranks {
+		for gx := rs.lo; gx < rs.hi; gx++ {
+			for y := 0; y < cfg.NY; y++ {
+				for z := 0; z < cfg.NZ; z++ {
+					full.Nodes[full.Idx(gx, y, z)] = rs.local.Nodes[rs.local.Idx(gx-rs.lo+1, y, z)]
+				}
+			}
+		}
+		res.Messages += rs.messages
+		res.FloatsSent += rs.floatsSent
+	}
+	res.Fluid = full
+	res.Sheets = ranks[0].sheets
+	return res, nil
+}
+
+// rankState is one rank's private world: an x-slab of the fluid with one
+// ghost plane on each side, plus a full replica of the structure.
+type rankState struct {
+	cfg    Config
+	comm   *Comm
+	lo, hi int // owned global planes [lo, hi)
+	chunk  int
+	// local holds chunk+2 planes: plane 0 and plane chunk+1 are ghosts.
+	local  *grid.Grid
+	sheets []*fiber.Sheet
+
+	dirsRight, dirsLeft []int // lattice directions with e_x = ±1
+
+	messages   int64
+	floatsSent int64
+}
+
+func newRank(cfg Config, comm *Comm) *rankState {
+	chunk := cfg.NX / cfg.Ranks
+	rs := &rankState{
+		cfg:   cfg,
+		comm:  comm,
+		lo:    comm.Rank() * chunk,
+		hi:    (comm.Rank() + 1) * chunk,
+		chunk: chunk,
+		local: grid.New(chunk+2, cfg.NY, cfg.NZ),
+	}
+	for _, sh := range cfg.Sheets {
+		rs.sheets = append(rs.sheets, sh.Clone())
+	}
+	for i := 0; i < lattice.Q; i++ {
+		switch lattice.E[i][0] {
+		case 1:
+			rs.dirsRight = append(rs.dirsRight, i)
+		case -1:
+			rs.dirsLeft = append(rs.dirsLeft, i)
+		}
+	}
+	return rs
+}
+
+// ownsGlobalX reports whether the wrapped global plane belongs to this
+// rank, returning the local plane index (1-based; ghosts are 0 and
+// chunk+1).
+func (rs *rankState) ownsGlobalX(gx int) (int, bool) {
+	gx %= rs.cfg.NX
+	if gx < 0 {
+		gx += rs.cfg.NX
+	}
+	if gx < rs.lo || gx >= rs.hi {
+		return 0, false
+	}
+	return gx - rs.lo + 1, true
+}
+
+// localForce adapts the slab as an ibm.ForceAccumulator restricted to
+// owned planes: spreading on every rank touches only local storage, and
+// per-node accumulation order equals the sequential solver's.
+type localForce struct{ rs *rankState }
+
+func (lf localForce) AddForce(x, y, z int, f [3]float64) {
+	rs := lf.rs
+	p, ok := rs.ownsGlobalX(x)
+	if !ok {
+		return
+	}
+	g := rs.local
+	y, z = wrapYZ(y, rs.cfg.NY), wrapYZ(z, rs.cfg.NZ)
+	n := &g.Nodes[g.Idx(p, y, z)]
+	n.Force[0] += f[0]
+	n.Force[1] += f[1]
+	n.Force[2] += f[2]
+}
+
+func wrapYZ(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// timeStep runs the nine kernels of Algorithm 1 in distributed form.
+func (rs *rankState) timeStep(step int) {
+	// Kernels 1–3 on the replica (identical on every rank).
+	for _, sh := range rs.sheets {
+		sh.ComputeBendingForce(0, sh.NumNodes())
+		sh.ComputeStretchingForce(0, sh.NumNodes())
+		sh.ComputeElasticForce(0, sh.NumNodes())
+	}
+	// Kernel 4: reset owned planes to the body force, then spread with
+	// the ownership filter.
+	g := rs.local
+	for p := 1; p <= rs.chunk; p++ {
+		for y := 0; y < rs.cfg.NY; y++ {
+			for z := 0; z < rs.cfg.NZ; z++ {
+				g.Nodes[g.Idx(p, y, z)].Force = rs.cfg.BodyForce
+			}
+		}
+	}
+	acc := localForce{rs}
+	for _, sh := range rs.sheets {
+		area := sh.AreaElement()
+		for i := 0; i < sh.NumNodes(); i++ {
+			ibm.Spread(acc, sh.X[i], sh.Force[i], area)
+		}
+	}
+	// Kernels 5–6 on owned planes.
+	for p := 1; p <= rs.chunk; p++ {
+		for y := 0; y < rs.cfg.NY; y++ {
+			for z := 0; z < rs.cfg.NZ; z++ {
+				core.CollideNode(&g.Nodes[g.Idx(p, y, z)], rs.cfg.Tau)
+			}
+		}
+	}
+	for p := 1; p <= rs.chunk; p++ {
+		for y := 0; y < rs.cfg.NY; y++ {
+			for z := 0; z < rs.cfg.NZ; z++ {
+				rs.streamNode(p, y, z)
+			}
+		}
+	}
+	rs.exchangeHalo(step)
+	// Kernel 7 on owned planes.
+	for p := 1; p <= rs.chunk; p++ {
+		for y := 0; y < rs.cfg.NY; y++ {
+			for z := 0; z < rs.cfg.NZ; z++ {
+				core.UpdateVelocityNode(&g.Nodes[g.Idx(p, y, z)])
+			}
+		}
+	}
+	// Kernel 8: partial interpolation over owned planes, ordered global
+	// reduction, identical advection on every replica.
+	rs.moveFibers(step)
+	// Kernel 9 on owned planes.
+	for p := 1; p <= rs.chunk; p++ {
+		for y := 0; y < rs.cfg.NY; y++ {
+			for z := 0; z < rs.cfg.NZ; z++ {
+				n := &g.Nodes[g.Idx(p, y, z)]
+				n.DF = n.DFNew
+			}
+		}
+	}
+}
+
+// streamNode pushes one owned node's post-collision distribution; pushes
+// across the slab faces land in the ghost planes.
+func (rs *rankState) streamNode(p, y, z int) {
+	g := rs.local
+	src := &g.Nodes[g.Idx(p, y, z)]
+	for i := 0; i < lattice.Q; i++ {
+		tp := p + lattice.E[i][0] // ghost planes catch ±1
+		ty := y + lattice.E[i][1]
+		tz := z + lattice.E[i][2]
+		if (rs.cfg.BCY == core.BounceBack && (ty < 0 || ty >= rs.cfg.NY)) ||
+			(rs.cfg.BCZ == core.BounceBack && (tz < 0 || tz >= rs.cfg.NZ)) {
+			refl := src.DF[i]
+			if rs.cfg.BCZ == core.BounceBack && tz >= rs.cfg.NZ && rs.cfg.LidVelocity != ([3]float64{}) {
+				eu := float64(lattice.E[i][0])*rs.cfg.LidVelocity[0] +
+					float64(lattice.E[i][1])*rs.cfg.LidVelocity[1] +
+					float64(lattice.E[i][2])*rs.cfg.LidVelocity[2]
+				refl -= 6 * lattice.W[i] * src.Rho * eu
+			}
+			src.DFNew[lattice.Opposite[i]] = refl
+			continue
+		}
+		ty = wrapYZ(ty, rs.cfg.NY)
+		tz = wrapYZ(tz, rs.cfg.NZ)
+		g.Nodes[g.Idx(tp, ty, tz)].DFNew[i] = src.DF[i]
+	}
+}
+
+// exchangeHalo sends the distribution values streamed into the ghost
+// planes to the ring neighbors and merges the values received for this
+// rank's boundary planes.
+func (rs *rankState) exchangeHalo(step int) {
+	ny, nz := rs.cfg.NY, rs.cfg.NZ
+	size := rs.comm.Size()
+	left := (rs.comm.Rank() + size - 1) % size
+	right := (rs.comm.Rank() + 1) % size
+	tagL, tagR := step*8+1, step*8+2
+
+	pack := func(plane int, dirs []int) []float64 {
+		buf := make([]float64, 0, len(dirs)*ny*nz)
+		g := rs.local
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				n := &g.Nodes[g.Idx(plane, y, z)]
+				for _, d := range dirs {
+					buf = append(buf, n.DFNew[d])
+				}
+			}
+		}
+		return buf
+	}
+	unpack := func(plane int, dirs []int, buf []float64) {
+		g := rs.local
+		k := 0
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				n := &g.Nodes[g.Idx(plane, y, z)]
+				for _, d := range dirs {
+					// An entry whose upstream source would lie beyond a
+					// bounce-back wall was produced by this rank's own
+					// bounce-back, not by the neighbor's push: the
+					// received value is stale padding, so keep the local
+					// one.
+					sy := y - lattice.E[d][1]
+					sz := z - lattice.E[d][2]
+					wallY := rs.cfg.BCY == core.BounceBack && (sy < 0 || sy >= ny)
+					wallZ := rs.cfg.BCZ == core.BounceBack && (sz < 0 || sz >= nz)
+					if !wallY && !wallZ {
+						n.DFNew[d] = buf[k]
+					}
+					k++
+				}
+			}
+		}
+	}
+
+	// Ghost plane 0 holds pushes in the e_x = −1 directions destined for
+	// the left neighbor's last owned plane; ghost plane chunk+1 holds
+	// e_x = +1 pushes for the right neighbor's first plane.
+	sendL := pack(0, rs.dirsLeft)
+	sendR := pack(rs.chunk+1, rs.dirsRight)
+	rs.send(left, tagL, sendL)
+	rs.send(right, tagR, sendR)
+	fromRight := rs.comm.Recv(right, tagL) // right neighbor's leftward halo
+	fromLeft := rs.comm.Recv(left, tagR)   // left neighbor's rightward halo
+	unpack(rs.chunk, rs.dirsLeft, fromRight)
+	unpack(1, rs.dirsRight, fromLeft)
+}
+
+func (rs *rankState) send(to, tag int, data []float64) {
+	atomic.AddInt64(&rs.messages, 1)
+	atomic.AddInt64(&rs.floatsSent, int64(len(data)))
+	rs.comm.Send(to, tag, data)
+}
+
+// moveFibers interpolates each fiber node's velocity from the owned
+// planes, reduces the partials in rank order, and advects every replica
+// identically.
+func (rs *rankState) moveFibers(step int) {
+	total := 0
+	for _, sh := range rs.sheets {
+		total += sh.NumNodes()
+	}
+	if total == 0 {
+		return
+	}
+	partial := make([]float64, 3*total)
+	off := 0
+	g := rs.local
+	for _, sh := range rs.sheets {
+		for i := 0; i < sh.NumNodes(); i++ {
+			if sh.Fixed[i] {
+				off += 3
+				continue
+			}
+			var st ibm.Stencil
+			st.Compute(sh.X[i])
+			var u [3]float64
+			for a := 0; a < ibm.SupportWidth; a++ {
+				wx := st.Wx[a]
+				if wx == 0 {
+					continue
+				}
+				p, ok := rs.ownsGlobalX(st.Base[0] + a)
+				if !ok {
+					continue
+				}
+				for b := 0; b < ibm.SupportWidth; b++ {
+					wxy := wx * st.Wy[b]
+					if wxy == 0 {
+						continue
+					}
+					ty := wrapYZ(st.Base[1]+b, rs.cfg.NY)
+					for c := 0; c < ibm.SupportWidth; c++ {
+						w := wxy * st.Wz[c]
+						if w == 0 {
+							continue
+						}
+						tz := wrapYZ(st.Base[2]+c, rs.cfg.NZ)
+						v := g.Nodes[g.Idx(p, ty, tz)].Vel
+						u[0] += w * v[0]
+						u[1] += w * v[1]
+						u[2] += w * v[2]
+					}
+				}
+			}
+			partial[off] = u[0]
+			partial[off+1] = u[1]
+			partial[off+2] = u[2]
+			off += 3
+		}
+	}
+	if rs.comm.Size() > 1 {
+		atomic.AddInt64(&rs.messages, 1)
+		atomic.AddInt64(&rs.floatsSent, int64(len(partial)))
+	}
+	totalVel := rs.comm.ReduceOrdered(step*8+4, partial)
+	off = 0
+	for _, sh := range rs.sheets {
+		for i := 0; i < sh.NumNodes(); i++ {
+			if sh.Fixed[i] {
+				sh.Vel[i] = fiber.Vec3{}
+				off += 3
+				continue
+			}
+			u := fiber.Vec3{totalVel[off], totalVel[off+1], totalVel[off+2]}
+			sh.Vel[i] = u
+			sh.X[i][0] += u[0]
+			sh.X[i][1] += u[1]
+			sh.X[i][2] += u[2]
+			off += 3
+		}
+	}
+}

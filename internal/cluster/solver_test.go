@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"lbmib/internal/core"
+	"lbmib/internal/fiber"
+	"lbmib/internal/validate"
+)
+
+func interiorSheet() *fiber.Sheet {
+	// Placed so every delta stencil stays inside rank 0's slab when NX=32
+	// is split over 2 ranks (planes 0..15).
+	return fiber.NewSheet(fiber.Params{
+		NumFibers: 6, NodesPerFiber: 6, Width: 5, Height: 5,
+		Origin: fiber.Vec3{6.3, 5.2, 5.7}, Ks: 0.05, Kb: 0.001,
+	})
+}
+
+func spanningSheet() *fiber.Sheet {
+	// Straddles the plane-16 boundary of a 2-rank split.
+	return fiber.NewSheet(fiber.Params{
+		NumFibers: 6, NodesPerFiber: 6, Width: 5, Height: 5,
+		Origin: fiber.Vec3{14.5, 5.2, 5.7}, Ks: 0.05, Kb: 0.001,
+	})
+}
+
+func refRun(sheet *fiber.Sheet, steps int) *core.Solver {
+	s := core.NewSolver(core.Config{
+		NX: 32, NY: 16, NZ: 16, Tau: 0.7,
+		BodyForce: [3]float64{3e-5, 0, 0},
+		Sheet:     sheet,
+	})
+	s.Run(steps)
+	return s
+}
+
+func clusterRun(t *testing.T, sheet *fiber.Sheet, ranks, steps int) *Result {
+	t.Helper()
+	var sheets []*fiber.Sheet
+	if sheet != nil {
+		sheets = []*fiber.Sheet{sheet}
+	}
+	res, err := Run(Config{
+		NX: 32, NY: 16, NZ: 16, Ranks: ranks, Steps: steps, Tau: 0.7,
+		BodyForce: [3]float64{3e-5, 0, 0},
+		Sheets:    sheets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// With the whole structure inside one rank's slab, the distributed run is
+// bitwise identical to the sequential solver.
+func TestBitwiseEqualsSequentialInteriorSheet(t *testing.T) {
+	const steps = 10
+	ref := refRun(interiorSheet(), steps)
+	for _, ranks := range []int{1, 2, 4} {
+		res := clusterRun(t, interiorSheet(), ranks, steps)
+		for i := range ref.Fluid.Nodes {
+			if ref.Fluid.Nodes[i].DF != res.Fluid.Nodes[i].DF {
+				t.Fatalf("ranks=%d: node %d DF differs bitwise", ranks, i)
+			}
+		}
+		for i := range ref.Sheet().X {
+			if ref.Sheet().X[i] != res.Sheets[0].X[i] {
+				t.Fatalf("ranks=%d: fiber node %d differs bitwise", ranks, i)
+			}
+		}
+	}
+}
+
+// A structure spanning a rank boundary agrees to accumulation-order
+// tolerance (the reduction groups partial sums by rank).
+func TestSpanningSheetMatchesToTolerance(t *testing.T) {
+	const steps = 10
+	ref := refRun(spanningSheet(), steps)
+	res := clusterRun(t, spanningSheet(), 2, steps)
+	gd, err := validate.Grids(ref.Fluid, res.Fluid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gd.Within(validate.DefaultTol) {
+		t.Fatalf("spanning-sheet fluid diverges: %v", gd)
+	}
+	sd, err := validate.Sheets(ref.Sheet(), res.Sheets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sd.Within(validate.DefaultTol) {
+		t.Fatalf("spanning-sheet structure diverges: %v", sd)
+	}
+}
+
+func TestFluidOnlyBitwise(t *testing.T) {
+	const steps = 12
+	ref := core.NewSolver(core.Config{NX: 32, NY: 16, NZ: 16, Tau: 0.8,
+		BodyForce: [3]float64{1e-4, 0, 0}})
+	ref.Run(steps)
+	res, err := Run(Config{NX: 32, NY: 16, NZ: 16, Ranks: 4, Steps: steps, Tau: 0.8,
+		BodyForce: [3]float64{1e-4, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Fluid.Nodes {
+		if ref.Fluid.Nodes[i].DF != res.Fluid.Nodes[i].DF {
+			t.Fatalf("node %d DF differs bitwise", i)
+		}
+	}
+}
+
+func TestBounceBackWallsDistributed(t *testing.T) {
+	const steps = 15
+	ref := core.NewSolver(core.Config{NX: 16, NY: 8, NZ: 8, Tau: 0.8, BCZ: core.BounceBack,
+		BodyForce: [3]float64{1e-4, 0, 0}})
+	ref.Run(steps)
+	res, err := Run(Config{NX: 16, NY: 8, NZ: 8, Ranks: 4, Steps: steps, Tau: 0.8,
+		BCZ: core.BounceBack, BodyForce: [3]float64{1e-4, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := validate.Grids(ref.Fluid, res.Fluid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxAbs != 0 {
+		t.Fatalf("bounce-back distributed run differs: %v", d)
+	}
+}
+
+func TestMovingLidDistributed(t *testing.T) {
+	const steps = 40
+	mk := func(ranks int) *Result {
+		res, err := Run(Config{NX: 8, NY: 8, NZ: 8, Ranks: ranks, Steps: steps, Tau: 0.9,
+			BCZ: core.BounceBack, LidVelocity: [3]float64{0.02, 0, 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(1), mk(4)
+	d, err := validate.Grids(a.Fluid, b.Fluid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxAbs != 0 {
+		t.Fatalf("lid-driven distributed run differs across rank counts: %v", d)
+	}
+	// The lid must drag the fluid.
+	if v := a.Fluid.At(4, 4, 7).Vel[0]; v <= 0 {
+		t.Fatalf("lid did not drive flow: %g", v)
+	}
+}
+
+func TestMassConservedDistributed(t *testing.T) {
+	res := clusterRun(t, interiorSheet(), 4, 20)
+	want := float64(32 * 16 * 16)
+	if got := res.Fluid.TotalMass(); math.Abs(got-want) > 1e-8*want {
+		t.Fatalf("mass = %g, want %g", got, want)
+	}
+}
+
+func TestCommunicationCounted(t *testing.T) {
+	res := clusterRun(t, interiorSheet(), 4, 5)
+	if res.Messages == 0 || res.FloatsSent == 0 {
+		t.Fatal("no communication recorded for a 4-rank run")
+	}
+	single := clusterRun(t, interiorSheet(), 1, 5)
+	if single.FloatsSent >= res.FloatsSent {
+		t.Fatal("single-rank run should communicate less than 4-rank run")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	bad := []Config{
+		{NX: 30, NY: 8, NZ: 8, Ranks: 4, Steps: 1, Tau: 0.7}, // 30 % 4 != 0
+		{NX: 16, NY: 8, NZ: 8, Ranks: 0, Steps: 1, Tau: 0.7},
+		{NX: 16, NY: 0, NZ: 8, Ranks: 2, Steps: 1, Tau: 0.7},
+		{NX: 16, NY: 8, NZ: 8, Ranks: 2, Steps: 1, Tau: 0.4},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Fatal("zero-size world accepted")
+	}
+}
+
+func TestReduceOrderedSingleRank(t *testing.T) {
+	w, err := NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Comm(0)
+	in := []float64{1, 2, 3}
+	out := c.ReduceOrdered(0, in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("single-rank reduce must be identity")
+		}
+	}
+}
+
+func TestCommSendRecvOrdering(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := w.Comm(0), w.Comm(1)
+	a.Send(1, 7, []float64{1})
+	a.Send(1, 8, []float64{2})
+	if got := b.Recv(0, 7); got[0] != 1 {
+		t.Fatalf("first message = %v", got)
+	}
+	if got := b.Recv(0, 8); got[0] != 2 {
+		t.Fatalf("second message = %v", got)
+	}
+}
+
+func TestReduceOrderedMultiRank(t *testing.T) {
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]float64, 3)
+	done := make(chan int, 3)
+	for r := 0; r < 3; r++ {
+		go func(rank int) {
+			partial := []float64{float64(rank + 1), float64(10 * (rank + 1))}
+			results[rank] = w.Comm(rank).ReduceOrdered(0, partial)
+			done <- rank
+		}(r)
+	}
+	for i := 0; i < 3; i++ {
+		<-done
+	}
+	for r := 0; r < 3; r++ {
+		if results[r][0] != 6 || results[r][1] != 60 {
+			t.Fatalf("rank %d reduce = %v, want [6 60]", r, results[r])
+		}
+	}
+}
+
+// Halo traffic per step is exactly 2 messages per rank of 5·NY·NZ floats
+// plus the reduction; verify the accounting matches the protocol.
+func TestHaloVolumeFormula(t *testing.T) {
+	const ranks, steps = 4, 3
+	res, err := Run(Config{NX: 16, NY: 8, NZ: 8, Ranks: ranks, Steps: steps, Tau: 0.7,
+		BodyForce: [3]float64{1e-5, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHalo := int64(ranks * steps * 2 * 5 * 8 * 8) // 2 faces × 5 dirs × NY × NZ
+	if res.FloatsSent != wantHalo {
+		t.Fatalf("halo floats = %d, want %d", res.FloatsSent, wantHalo)
+	}
+}

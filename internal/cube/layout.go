@@ -1,0 +1,174 @@
+// Package cube implements the data-centric fluid storage of the paper's
+// cube-based algorithm (Section V): the Nx×Ny×Nz fluid grid is divided
+// into (Nx/k)×(Ny/k)×(Nz/k) cubes of k×k×k fluid nodes, and each cube's
+// nodes are stored in one contiguous memory block. The much smaller
+// working set per cube is what gives the cube-centric solver its locality
+// advantage over the slab layout of internal/grid.
+package cube
+
+import (
+	"fmt"
+
+	"lbmib/internal/grid"
+	"lbmib/internal/lattice"
+)
+
+// Layout is the cube-tiled fluid grid. Nodes are stored cube-major: cube
+// (cx, cy, cz) occupies the K³ nodes starting at CubeIndex(cx,cy,cz)*K³,
+// ordered z-fastest within the cube.
+type Layout struct {
+	K          int // cube edge length (nodes)
+	NX, NY, NZ int // fluid grid dimensions
+	CX, CY, CZ int // cube-grid dimensions (NX/K, NY/K, NZ/K)
+	Nodes      []grid.Node
+}
+
+// NewLayout tiles an nx×ny×nz grid into cubes of edge k. Every dimension
+// must be a positive multiple of k.
+func NewLayout(nx, ny, nz, k int) (*Layout, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cube: non-positive cube size %d", k)
+	}
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("cube: non-positive dimensions %d×%d×%d", nx, ny, nz)
+	}
+	if nx%k != 0 || ny%k != 0 || nz%k != 0 {
+		return nil, fmt.Errorf("cube: dimensions %d×%d×%d not divisible by cube size %d", nx, ny, nz, k)
+	}
+	l := &Layout{
+		K: k, NX: nx, NY: ny, NZ: nz,
+		CX: nx / k, CY: ny / k, CZ: nz / k,
+		Nodes: make([]grid.Node, nx*ny*nz),
+	}
+	l.Reset(1, [3]float64{})
+	return l, nil
+}
+
+// Reset reinitializes every node to density rho and velocity u at
+// equilibrium, with zero force.
+func (l *Layout) Reset(rho float64, u [3]float64) {
+	var geq [lattice.Q]float64
+	lattice.Equilibrium(rho, u, &geq)
+	for i := range l.Nodes {
+		n := &l.Nodes[i]
+		n.DF = geq
+		n.DFNew = geq
+		n.Rho = rho
+		n.Vel = u
+		n.Force = [3]float64{}
+	}
+}
+
+// NumCubes returns the number of cubes.
+func (l *Layout) NumCubes() int { return l.CX * l.CY * l.CZ }
+
+// NumNodes returns the number of fluid nodes.
+func (l *Layout) NumNodes() int { return len(l.Nodes) }
+
+// CubeIndex returns the linear index of cube (cx, cy, cz).
+func (l *Layout) CubeIndex(cx, cy, cz int) int { return (cx*l.CY+cy)*l.CZ + cz }
+
+// CubeCoord is the inverse of CubeIndex.
+func (l *Layout) CubeCoord(c int) (cx, cy, cz int) {
+	cz = c % l.CZ
+	cy = (c / l.CZ) % l.CY
+	cx = c / (l.CZ * l.CY)
+	return
+}
+
+// CubeOf returns the cube coordinates containing fluid node (x, y, z).
+func (l *Layout) CubeOf(x, y, z int) (cx, cy, cz int) {
+	return x / l.K, y / l.K, z / l.K
+}
+
+// Idx returns the flat node index of fluid node (x, y, z) in the
+// cube-major layout. Coordinates must be in range; use Wrap first for
+// periodic images.
+func (l *Layout) Idx(x, y, z int) int {
+	k := l.K
+	cx, cy, cz := x/k, y/k, z/k
+	lx, ly, lz := x%k, y%k, z%k
+	return l.CubeIndex(cx, cy, cz)*k*k*k + (lx*k+ly)*k + lz
+}
+
+// At returns the node at fluid coordinate (x, y, z).
+func (l *Layout) At(x, y, z int) *grid.Node { return &l.Nodes[l.Idx(x, y, z)] }
+
+// CubeNodes returns the contiguous node slice of cube c.
+func (l *Layout) CubeNodes(c int) []grid.Node {
+	k3 := l.K * l.K * l.K
+	return l.Nodes[c*k3 : (c+1)*k3]
+}
+
+// Wrap maps possibly out-of-range coordinates onto the periodic domain.
+func (l *Layout) Wrap(x, y, z int) (int, int, int) {
+	return wrap(x, l.NX), wrap(y, l.NY), wrap(z, l.NZ)
+}
+
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// VelocityAt returns the macroscopic velocity at the periodic image of
+// (x, y, z); it satisfies ibm.VelocitySampler.
+func (l *Layout) VelocityAt(x, y, z int) [3]float64 {
+	x, y, z = l.Wrap(x, y, z)
+	return l.Nodes[l.Idx(x, y, z)].Vel
+}
+
+// AddForce accumulates force at the periodic image of (x, y, z); it
+// satisfies ibm.ForceAccumulator. It is not synchronized — the cube solver
+// wraps it with its per-owner locking.
+func (l *Layout) AddForce(x, y, z int, f [3]float64) {
+	x, y, z = l.Wrap(x, y, z)
+	n := &l.Nodes[l.Idx(x, y, z)]
+	n.Force[0] += f[0]
+	n.Force[1] += f[1]
+	n.Force[2] += f[2]
+}
+
+// FromGrid copies the full state of a slab-layout grid (same dimensions)
+// into the cube layout.
+func (l *Layout) FromGrid(g *grid.Grid) error {
+	if g.NX != l.NX || g.NY != l.NY || g.NZ != l.NZ {
+		return fmt.Errorf("cube: dimension mismatch %d×%d×%d vs %d×%d×%d",
+			g.NX, g.NY, g.NZ, l.NX, l.NY, l.NZ)
+	}
+	for x := 0; x < l.NX; x++ {
+		for y := 0; y < l.NY; y++ {
+			for z := 0; z < l.NZ; z++ {
+				l.Nodes[l.Idx(x, y, z)] = g.Nodes[g.Idx(x, y, z)]
+			}
+		}
+	}
+	return nil
+}
+
+// ToGrid copies the cube layout's state into a freshly allocated
+// slab-layout grid, used by the validation harness to compare solvers.
+func (l *Layout) ToGrid() *grid.Grid {
+	g := grid.New(l.NX, l.NY, l.NZ)
+	for x := 0; x < l.NX; x++ {
+		for y := 0; y < l.NY; y++ {
+			for z := 0; z < l.NZ; z++ {
+				g.Nodes[g.Idx(x, y, z)] = l.Nodes[l.Idx(x, y, z)]
+			}
+		}
+	}
+	return g
+}
+
+// TotalMass returns the summed present-buffer distribution mass.
+func (l *Layout) TotalMass() float64 {
+	sum := 0.0
+	for i := range l.Nodes {
+		for _, v := range l.Nodes[i].DF {
+			sum += v
+		}
+	}
+	return sum
+}

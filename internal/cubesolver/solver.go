@@ -1,0 +1,474 @@
+// Package cubesolver implements the paper's contribution: the cube-centric
+// multithreaded LBM-IB algorithm of Section V (Algorithm 4).
+//
+// The fluid grid is stored as contiguous k×k×k cubes (internal/cube) that
+// a user-defined distribution function cube2thread maps onto a P×Q×R
+// logical thread mesh; fibers are mapped with fiber2thread. Every worker
+// executes the whole time-step loop over the full cube/fiber index space,
+// computing only the cubes and fibers it owns, and synchronizes with a
+// small number of global barriers. Cross-thread force spreading is
+// protected by one private lock per owner thread, exactly as the paper
+// prescribes ("a cube will be protected by its owner thread's private
+// lock").
+//
+// Deviation from the published pseudocode, documented in DESIGN.md: the
+// paper's Algorithm 4 shows three barriers per step (after loops 2, 3 and
+// 5) but no barrier between the fiber loop (kernels 1–4) and the fluid
+// loop (kernels 5–6). Kernel 5 reads the elastic force that loop 1 spreads
+// into cubes owned by other threads, so a fourth barrier after loop 1 is
+// required for a correct execution; this implementation inserts it. The
+// BarrierPerKernel schedule (one barrier after every loop, as a naive
+// port would do) is kept as an ablation.
+package cubesolver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/cube"
+	"lbmib/internal/fiber"
+	"lbmib/internal/ibm"
+	"lbmib/internal/lattice"
+	"lbmib/internal/par"
+)
+
+// BarrierSchedule selects how many global barriers each time step uses.
+type BarrierSchedule int
+
+const (
+	// BarrierMinimal uses four barriers per step: after the fiber loop
+	// (correctness addition), after collide+stream, after the velocity
+	// update, and at the end of the step — the paper's minimized schedule
+	// plus the required spread→collision barrier.
+	BarrierMinimal BarrierSchedule = iota
+	// BarrierPerKernel synchronizes after every loop nest; the ablation
+	// baseline for the paper's "minimize the number of barriers" claim.
+	BarrierPerKernel
+)
+
+// Phase identifies one of the five loop nests of Algorithm 4, for
+// per-thread load-imbalance accounting.
+type Phase int
+
+// The five loop nests of Algorithm 4.
+const (
+	PhaseFibersForce    Phase = iota + 1 // 1st loop: kernels 1–4 on owned fibers
+	PhaseCollideStream                   // 2nd loop: kernels 5–6 on owned cubes
+	PhaseUpdateVelocity                  // 3rd loop: kernel 7 on owned cubes
+	PhaseMoveFibers                      // 4th loop: kernel 8 on owned fibers
+	PhaseCopy                            // 5th loop: kernel 9 (+ force reset) on owned cubes
+)
+
+// NumPhases is the number of loop nests per time step.
+const NumPhases = 5
+
+var phaseNames = [NumPhases + 1]string{
+	"", "fiber_force_spread", "collide_stream", "update_velocity", "move_fibers", "copy_distribution",
+}
+
+// String names the phase.
+func (p Phase) String() string {
+	if p < 1 || p > NumPhases {
+		return "unknown_phase"
+	}
+	return phaseNames[p]
+}
+
+// PhaseObserver receives the wall-clock duration each worker spent in each
+// loop nest; the profiling harness uses it to measure load imbalance (the
+// paper's OmpP substitute).
+type PhaseObserver interface {
+	PhaseDone(step, tid int, p Phase, d time.Duration)
+}
+
+// Config assembles a cube-based LBM-IB problem.
+type Config struct {
+	NX, NY, NZ    int
+	CubeSize      int // k; fluid dimensions must be multiples of it
+	Threads       int
+	Tau           float64
+	BodyForce     [3]float64
+	BCX, BCY, BCZ core.BC
+	// LidVelocity is the tangential velocity of the z-max wall when BCZ
+	// is BounceBack (Ladd's momentum-exchange bounce-back).
+	LidVelocity [3]float64
+	Sheet       *fiber.Sheet   // single-sheet convenience, appended to Sheets
+	Sheets      []*fiber.Sheet // the immersed structure's sheets
+	Dist        par.Dist       // cube2thread / fiber2thread policy (default Block)
+	BlockSize   int            // block-cyclic block size
+	Barriers    BarrierSchedule
+}
+
+// Solver is the cube-centric parallel LBM-IB solver.
+type Solver struct {
+	Fluid       *cube.Layout
+	Sheets      []*fiber.Sheet
+	Tau         float64
+	BodyForce   [3]float64
+	BCX         core.BC
+	BCY         core.BC
+	BCZ         core.BC
+	LidVelocity [3]float64
+	Map         par.CubeMap
+	FiberDist   par.Dist
+	Barriers    BarrierSchedule
+
+	Observer PhaseObserver
+
+	team       *par.Team
+	barrier    *par.Barrier
+	ownerLocks []sync.Mutex // one private lock per thread
+	step       int
+
+	// streamDelta[i] is the in-cube flat offset of the e_i neighbor for
+	// nodes strictly inside a cube.
+	streamDelta [lattice.Q]int
+}
+
+// NewSolver builds the solver, the thread mesh, and the data distribution.
+func NewSolver(cfg Config) (*Solver, error) {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.CubeSize == 0 {
+		cfg.CubeSize = 4
+	}
+	layout, err := cube.NewLayout(cfg.NX, cfg.NY, cfg.NZ, cfg.CubeSize)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Tau == 0 {
+		cfg.Tau = 0.6
+	}
+	if cfg.Tau <= 0.5 {
+		return nil, fmt.Errorf("cubesolver: tau %g must exceed 0.5", cfg.Tau)
+	}
+	s := &Solver{
+		Fluid:       layout,
+		Sheets:      cfg.allSheets(),
+		Tau:         cfg.Tau,
+		BodyForce:   cfg.BodyForce,
+		BCX:         cfg.BCX,
+		BCY:         cfg.BCY,
+		BCZ:         cfg.BCZ,
+		LidVelocity: cfg.LidVelocity,
+		Map: par.CubeMap{
+			CX: layout.CX, CY: layout.CY, CZ: layout.CZ,
+			Mesh: par.NewMesh(cfg.Threads), Dist: cfg.Dist, BlockSize: cfg.BlockSize,
+		},
+		FiberDist:  cfg.Dist,
+		Barriers:   cfg.Barriers,
+		team:       par.NewTeam(cfg.Threads),
+		barrier:    par.NewBarrier(cfg.Threads),
+		ownerLocks: make([]sync.Mutex, cfg.Threads),
+	}
+	for i := 0; i < lattice.Q; i++ {
+		k := layout.K
+		s.streamDelta[i] = (lattice.E[i][0]*k+lattice.E[i][1])*k + lattice.E[i][2]
+	}
+	// Kernel 4 accumulates on top of the previous step's reset; seed the
+	// initial body force the same way loop 5 will maintain it.
+	for i := range s.Fluid.Nodes {
+		s.Fluid.Nodes[i].Force = s.BodyForce
+	}
+	return s, nil
+}
+
+// Sheet returns the first immersed sheet (nil without a structure).
+func (s *Solver) Sheet() *fiber.Sheet {
+	if len(s.Sheets) == 0 {
+		return nil
+	}
+	return s.Sheets[0]
+}
+
+// Close releases the worker team.
+func (s *Solver) Close() { s.team.Close() }
+
+// Threads returns the team width.
+func (s *Solver) Threads() int { return s.team.Size() }
+
+// StepCount returns the number of completed time steps.
+func (s *Solver) StepCount() int { return s.step }
+
+// Step advances one time step.
+func (s *Solver) Step() { s.Run(1) }
+
+// Run executes n time steps with the persistent worker team: every worker
+// runs the whole loop structure of Algorithm 4, including the global
+// barriers, until all n steps are done.
+func (s *Solver) Run(n int) {
+	if n <= 0 {
+		return
+	}
+	first := s.step
+	s.team.Run(func(tid int) {
+		for st := first; st < first+n; st++ {
+			s.timeStep(st, tid)
+		}
+	})
+	s.step += n
+}
+
+// timeStep is Thread_entry_fn's per-step body (Algorithm 4).
+func (s *Solver) timeStep(step, tid int) {
+	phase := func(p Phase, fn func()) {
+		if s.Observer == nil {
+			fn()
+			return
+		}
+		t0 := time.Now()
+		fn()
+		s.Observer.PhaseDone(step, tid, p, time.Since(t0))
+	}
+	perKernel := s.Barriers == BarrierPerKernel
+
+	// 1st loop: kernels 1–4 on owned fibers.
+	phase(PhaseFibersForce, func() { s.fiberForceLoop(tid) })
+	s.barrier.Wait() // spread → collision dependency (see package comment)
+
+	// 2nd loop: kernels 5–6 on owned cubes.
+	phase(PhaseCollideStream, func() { s.collideStreamLoop(tid, perKernel) })
+	s.barrier.Wait() // streaming → velocity-update dependency (paper's 1st barrier)
+
+	// 3rd loop: kernel 7 on owned cubes.
+	phase(PhaseUpdateVelocity, func() { s.updateVelocityLoop(tid) })
+	s.barrier.Wait() // velocity → move-fibers dependency (paper's 2nd barrier)
+
+	// 4th loop: kernel 8 on owned fibers.
+	phase(PhaseMoveFibers, func() { s.moveFibersLoop(tid) })
+	if perKernel {
+		s.barrier.Wait()
+	}
+
+	// 5th loop: kernel 9 (+ force reset for the next step) on owned cubes.
+	phase(PhaseCopy, func() { s.copyLoop(tid) })
+	s.barrier.Wait() // end-of-step barrier (paper's 3rd)
+}
+
+// allSheets resolves the Config's structure list.
+func (c Config) allSheets() []*fiber.Sheet {
+	sheets := append([]*fiber.Sheet(nil), c.Sheets...)
+	if c.Sheet != nil {
+		sheets = append(sheets, c.Sheet)
+	}
+	return sheets
+}
+
+// fiberForceLoop runs kernels 1–4 for every fiber owned by tid; fibers
+// are indexed globally across the structure's sheets.
+func (s *Solver) fiberForceLoop(tid int) {
+	total := fiber.TotalFibers(s.Sheets)
+	n := s.team.Size()
+	for g := 0; g < total; g++ {
+		if par.FiberToThread(g, total, n, s.FiberDist) != tid {
+			continue
+		}
+		sh, f := fiber.Locate(s.Sheets, g)
+		area := sh.AreaElement()
+		lo, hi := f*sh.NodesPerFiber, (f+1)*sh.NodesPerFiber
+		sh.ComputeBendingForce(lo, hi)
+		sh.ComputeStretchingForce(lo, hi)
+		sh.ComputeElasticForce(lo, hi)
+		for i := lo; i < hi; i++ {
+			s.spreadLocked(sh.X[i], sh.Force[i], area)
+		}
+	}
+}
+
+// spreadLocked spreads one fiber node's force under per-owner locking: the
+// 4×4×4 influential domain is walked in layout order and the owner lock of
+// each target cube is held while its nodes are updated. Only one lock is
+// held at a time, so the scheme cannot deadlock; consecutive targets that
+// share an owner reuse the held lock.
+func (s *Solver) spreadLocked(x [3]float64, F [3]float64, area float64) {
+	var st ibm.Stencil
+	st.Compute(x)
+	l := s.Fluid
+	held := -1
+	for i := 0; i < ibm.SupportWidth; i++ {
+		wx := st.Wx[i]
+		if wx == 0 {
+			continue
+		}
+		for j := 0; j < ibm.SupportWidth; j++ {
+			wxy := wx * st.Wy[j]
+			if wxy == 0 {
+				continue
+			}
+			for k := 0; k < ibm.SupportWidth; k++ {
+				w := wxy * st.Wz[k] * area
+				if w == 0 {
+					continue
+				}
+				gx, gy, gz := l.Wrap(st.Base[0]+i, st.Base[1]+j, st.Base[2]+k)
+				owner := s.Map.CubeToThread(l.CubeOf(gx, gy, gz))
+				if owner != held {
+					if held >= 0 {
+						s.ownerLocks[held].Unlock()
+					}
+					s.ownerLocks[owner].Lock()
+					held = owner
+				}
+				n := &l.Nodes[l.Idx(gx, gy, gz)]
+				n.Force[0] += w * F[0]
+				n.Force[1] += w * F[1]
+				n.Force[2] += w * F[2]
+			}
+		}
+	}
+	if held >= 0 {
+		s.ownerLocks[held].Unlock()
+	}
+}
+
+// collideStreamLoop runs kernels 5 and 6 over the cubes owned by tid. With
+// the per-kernel barrier schedule, collision over all owned cubes
+// completes (and a barrier passes) before streaming starts; the minimal
+// schedule fuses them per cube as in Algorithm 4.
+func (s *Solver) collideStreamLoop(tid int, perKernel bool) {
+	if perKernel {
+		s.forOwnedCubes(tid, func(c int) { s.collideCube(c) })
+		s.barrier.Wait()
+		s.forOwnedCubes(tid, func(c int) { s.streamCube(c) })
+		return
+	}
+	s.forOwnedCubes(tid, func(c int) {
+		s.collideCube(c)
+		s.streamCube(c)
+	})
+}
+
+// forOwnedCubes visits every cube owned by tid, in cube-index order —
+// Algorithm 4's "for each cube ... if cube2thread(I,J,K) == tid".
+func (s *Solver) forOwnedCubes(tid int, fn func(c int)) {
+	l := s.Fluid
+	for cx := 0; cx < l.CX; cx++ {
+		for cy := 0; cy < l.CY; cy++ {
+			for cz := 0; cz < l.CZ; cz++ {
+				if s.Map.CubeToThread(cx, cy, cz) == tid {
+					fn(l.CubeIndex(cx, cy, cz))
+				}
+			}
+		}
+	}
+}
+
+// collideCube applies the BGK+Guo collision to every node of cube c; the
+// cube's nodes are one contiguous block, the working set the paper's
+// locality argument is about.
+func (s *Solver) collideCube(c int) {
+	nodes := s.Fluid.CubeNodes(c)
+	for i := range nodes {
+		core.CollideNode(&nodes[i], s.Tau)
+	}
+}
+
+// streamCube pushes post-collision distributions from every node of cube c
+// to its 18 neighbors (possibly in other cubes), honoring the boundary
+// conditions. Each (node, direction) pair has exactly one writer, so
+// cross-cube writes need no locks.
+func (s *Solver) streamCube(c int) {
+	l := s.Fluid
+	k := l.K
+	cx, cy, cz := l.CubeCoord(c)
+	x0, y0, z0 := cx*k, cy*k, cz*k
+	for lx := 0; lx < k; lx++ {
+		for ly := 0; ly < k; ly++ {
+			for lz := 0; lz < k; lz++ {
+				s.streamNode(x0+lx, y0+ly, z0+lz)
+			}
+		}
+	}
+}
+
+func (s *Solver) streamNode(x, y, z int) {
+	l := s.Fluid
+	idx := l.Idx(x, y, z)
+	src := &l.Nodes[idx]
+	k := l.K
+	lx, ly, lz := x%k, y%k, z%k
+	if lx > 0 && lx < k-1 && ly > 0 && ly < k-1 && lz > 0 && lz < k-1 {
+		// Strictly inside the cube: every neighbor lives in the same
+		// contiguous block at a fixed offset.
+		for i := 0; i < lattice.Q; i++ {
+			l.Nodes[idx+s.streamDelta[i]].DFNew[i] = src.DF[i]
+		}
+		return
+	}
+	for i := 0; i < lattice.Q; i++ {
+		tx := x + lattice.E[i][0]
+		ty := y + lattice.E[i][1]
+		tz := z + lattice.E[i][2]
+		if (s.BCX == core.BounceBack && (tx < 0 || tx >= l.NX)) ||
+			(s.BCY == core.BounceBack && (ty < 0 || ty >= l.NY)) ||
+			(s.BCZ == core.BounceBack && (tz < 0 || tz >= l.NZ)) {
+			refl := src.DF[i]
+			if s.BCZ == core.BounceBack && tz >= l.NZ && s.LidVelocity != ([3]float64{}) {
+				eu := float64(lattice.E[i][0])*s.LidVelocity[0] +
+					float64(lattice.E[i][1])*s.LidVelocity[1] +
+					float64(lattice.E[i][2])*s.LidVelocity[2]
+				refl -= 6 * lattice.W[i] * src.Rho * eu
+			}
+			src.DFNew[lattice.Opposite[i]] = refl
+			continue
+		}
+		// Lattice velocity components are in {−1, 0, 1}: wrap by
+		// compare-and-add instead of modulo.
+		if tx < 0 {
+			tx += l.NX
+		} else if tx >= l.NX {
+			tx -= l.NX
+		}
+		if ty < 0 {
+			ty += l.NY
+		} else if ty >= l.NY {
+			ty -= l.NY
+		}
+		if tz < 0 {
+			tz += l.NZ
+		} else if tz >= l.NZ {
+			tz -= l.NZ
+		}
+		l.Nodes[l.Idx(tx, ty, tz)].DFNew[i] = src.DF[i]
+	}
+}
+
+// updateVelocityLoop runs kernel 7 over owned cubes.
+func (s *Solver) updateVelocityLoop(tid int) {
+	s.forOwnedCubes(tid, func(c int) {
+		nodes := s.Fluid.CubeNodes(c)
+		for i := range nodes {
+			core.UpdateVelocityNode(&nodes[i])
+		}
+	})
+}
+
+// moveFibersLoop runs kernel 8 over owned fibers. Fluid velocities are
+// read-only in this phase.
+func (s *Solver) moveFibersLoop(tid int) {
+	total := fiber.TotalFibers(s.Sheets)
+	n := s.team.Size()
+	for g := 0; g < total; g++ {
+		if par.FiberToThread(g, total, n, s.FiberDist) != tid {
+			continue
+		}
+		sh, f := fiber.Locate(s.Sheets, g)
+		core.MoveSheetNodes(s.Fluid, sh, f*sh.NodesPerFiber, (f+1)*sh.NodesPerFiber)
+	}
+}
+
+// copyLoop runs kernel 9 over owned cubes and resets the force field to
+// the uniform body force, ready for the next step's spreading.
+func (s *Solver) copyLoop(tid int) {
+	body := s.BodyForce
+	s.forOwnedCubes(tid, func(c int) {
+		nodes := s.Fluid.CubeNodes(c)
+		for i := range nodes {
+			nodes[i].DF = nodes[i].DFNew
+			nodes[i].Force = body
+		}
+	})
+}

@@ -1,0 +1,285 @@
+package cubesolver
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/fiber"
+	"lbmib/internal/par"
+	"lbmib/internal/validate"
+)
+
+func testSheet() *fiber.Sheet {
+	return fiber.NewSheet(fiber.Params{
+		NumFibers: 8, NodesPerFiber: 8, Width: 7, Height: 7,
+		Origin: fiber.Vec3{6, 4.3, 4.6}, Ks: 0.05, Kb: 0.001,
+	})
+}
+
+func refConfig(sheet *fiber.Sheet) core.Config {
+	return core.Config{
+		NX: 16, NY: 16, NZ: 16, Tau: 0.7,
+		BodyForce: [3]float64{3e-5, 0, 0},
+		Sheet:     sheet,
+	}
+}
+
+func cubeConfig(sheet *fiber.Sheet, threads, k int) Config {
+	return Config{
+		NX: 16, NY: 16, NZ: 16, CubeSize: k, Threads: threads, Tau: 0.7,
+		BodyForce: [3]float64{3e-5, 0, 0},
+		Sheet:     sheet,
+	}
+}
+
+// The central correctness property: the cube solver must reproduce the
+// sequential solver for any thread count, cube size and distribution.
+func TestMatchesSequential(t *testing.T) {
+	const steps = 12
+	ref := core.NewSolver(refConfig(testSheet()))
+	ref.Run(steps)
+
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, k := range []int{4, 8, 16} {
+			s, err := NewSolver(cubeConfig(testSheet(), threads, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run(steps)
+			gd, err := validate.Grids(ref.Fluid, s.Fluid.ToGrid())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gd.Within(validate.DefaultTol) {
+				t.Fatalf("threads=%d k=%d fluid diverges: %v", threads, k, gd)
+			}
+			sd, err := validate.Sheets(ref.Sheet(), s.Sheet())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sd.Within(validate.DefaultTol) {
+				t.Fatalf("threads=%d k=%d sheet diverges: %v", threads, k, sd)
+			}
+			s.Close()
+		}
+	}
+}
+
+func TestDistributionsMatchSequential(t *testing.T) {
+	const steps = 8
+	ref := core.NewSolver(refConfig(testSheet()))
+	ref.Run(steps)
+	for _, d := range []par.Dist{par.Block, par.Cyclic, par.BlockCyclic} {
+		cfg := cubeConfig(testSheet(), 4, 4)
+		cfg.Dist = d
+		cfg.BlockSize = 2
+		s, err := NewSolver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(steps)
+		gd, err := validate.Grids(ref.Fluid, s.Fluid.ToGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gd.Within(validate.DefaultTol) {
+			t.Fatalf("dist=%v diverges: %v", d, gd)
+		}
+		s.Close()
+	}
+}
+
+func TestBarrierSchedulesAgree(t *testing.T) {
+	const steps = 10
+	a, err := NewSolver(cubeConfig(testSheet(), 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	cfg := cubeConfig(testSheet(), 4, 4)
+	cfg.Barriers = BarrierPerKernel
+	b, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Run(steps)
+	b.Run(steps)
+	gd, err := validate.Grids(a.Fluid.ToGrid(), b.Fluid.ToGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gd.Within(validate.DefaultTol) {
+		t.Fatalf("barrier schedules disagree: %v", gd)
+	}
+}
+
+func TestSingleThreadBitwiseEqualsSequential(t *testing.T) {
+	const steps = 8
+	ref := core.NewSolver(refConfig(testSheet()))
+	ref.Run(steps)
+	s, err := NewSolver(cubeConfig(testSheet(), 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(steps)
+	g := s.Fluid.ToGrid()
+	for i := range ref.Fluid.Nodes {
+		if ref.Fluid.Nodes[i].DF != g.Nodes[i].DF {
+			t.Fatalf("node %d DF differs bitwise at 1 thread", i)
+		}
+	}
+	for i := range ref.Sheet().X {
+		if ref.Sheet().X[i] != s.Sheet().X[i] {
+			t.Fatalf("fiber node %d position differs bitwise", i)
+		}
+	}
+}
+
+func TestBounceBackMatchesSequential(t *testing.T) {
+	refCfg := core.Config{NX: 8, NY: 8, NZ: 8, Tau: 0.8, BCZ: core.BounceBack,
+		BodyForce: [3]float64{1e-4, 0, 0}}
+	ref := core.NewSolver(refCfg)
+	ref.Run(15)
+	s, err := NewSolver(Config{NX: 8, NY: 8, NZ: 8, CubeSize: 4, Threads: 4, Tau: 0.8,
+		BCZ: core.BounceBack, BodyForce: [3]float64{1e-4, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(15)
+	d, err := validate.Grids(ref.Fluid, s.Fluid.ToGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Within(validate.DefaultTol) {
+		t.Fatalf("bounce-back cube run diverges: %v", d)
+	}
+}
+
+func TestMassConserved(t *testing.T) {
+	s, err := NewSolver(cubeConfig(testSheet(), 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m0 := s.Fluid.TotalMass()
+	s.Run(20)
+	if m1 := s.Fluid.TotalMass(); math.Abs(m1-m0) > 1e-9*m0 {
+		t.Fatalf("mass drifted: %g -> %g", m0, m1)
+	}
+}
+
+func TestRejectsIndivisibleCubeSize(t *testing.T) {
+	if _, err := NewSolver(Config{NX: 10, NY: 16, NZ: 16, CubeSize: 4, Threads: 2, Tau: 0.7}); err == nil {
+		t.Fatal("accepted NX not divisible by cube size")
+	}
+}
+
+func TestRejectsBadTau(t *testing.T) {
+	if _, err := NewSolver(Config{NX: 8, NY: 8, NZ: 8, CubeSize: 4, Tau: 0.4}); err == nil {
+		t.Fatal("accepted tau <= 0.5")
+	}
+}
+
+func TestStepCountAndStep(t *testing.T) {
+	s, err := NewSolver(cubeConfig(nil, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Step()
+	s.Run(3)
+	s.Run(0)
+	if s.StepCount() != 4 {
+		t.Fatalf("StepCount = %d, want 4", s.StepCount())
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := map[Phase]string{
+		PhaseFibersForce:    "fiber_force_spread",
+		PhaseCollideStream:  "collide_stream",
+		PhaseUpdateVelocity: "update_velocity",
+		PhaseMoveFibers:     "move_fibers",
+		PhaseCopy:           "copy_distribution",
+	}
+	for p, n := range want {
+		if p.String() != n {
+			t.Fatalf("phase %d name %q, want %q", p, p.String(), n)
+		}
+	}
+	if Phase(0).String() != "unknown_phase" {
+		t.Fatal("phase 0 must be unknown")
+	}
+}
+
+type phaseRecorder struct {
+	mu    sync.Mutex
+	calls map[Phase]int
+}
+
+func (r *phaseRecorder) PhaseDone(step, tid int, p Phase, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.calls == nil {
+		r.calls = map[Phase]int{}
+	}
+	r.calls[p]++
+}
+
+func TestPhaseObserverCoverage(t *testing.T) {
+	s, err := NewSolver(cubeConfig(testSheet(), 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rec := &phaseRecorder{}
+	s.Observer = rec
+	s.Run(4)
+	for p := Phase(1); p <= NumPhases; p++ {
+		if rec.calls[p] != 4*3 { // steps × threads
+			t.Fatalf("phase %v observed %d times, want 12", p, rec.calls[p])
+		}
+	}
+}
+
+// A fixed sheet region must behave identically in the cube solver.
+func TestFixedNodesMatchSequential(t *testing.T) {
+	mk := func() *fiber.Sheet {
+		sh := testSheet()
+		sh.FixRegion(1.5)
+		return sh
+	}
+	ref := core.NewSolver(refConfig(mk()))
+	ref.Run(10)
+	s, err := NewSolver(cubeConfig(mk(), 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(10)
+	sd, err := validate.Sheets(ref.Sheet(), s.Sheet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sd.Within(validate.DefaultTol) {
+		t.Fatalf("fixed-region sheet diverges: %v", sd)
+	}
+}
+
+func BenchmarkCubeStep16k4(b *testing.B) {
+	s, err := NewSolver(cubeConfig(testSheet(), 1, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

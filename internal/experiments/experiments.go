@@ -1,0 +1,100 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index). Each driver
+// returns a structured result plus a Render() text table whose rows match
+// the paper's, alongside the paper's published values for comparison.
+//
+// Scaling results (Figure 5, Figure 8, Table II) are produced by the
+// hardware-model pipeline — cache-simulated traffic + schedule analysis +
+// the perfsim machine model — because this environment does not provide
+// the paper's 32/64-core machines. Sequential results (Table I) and all
+// correctness checks run the real solvers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lbmib/internal/fiber"
+)
+
+// Options configures experiment scale. The zero value gives the default
+// scaled-down configuration that completes in seconds to minutes; Paper
+// restores the paper's input sizes (minutes to hours of trace replay and
+// solver time).
+type Options struct {
+	// Paper uses the paper's original problem sizes (124×64×64 fluid,
+	// 52×52 fiber nodes, 500/200 steps) instead of the scaled defaults.
+	Paper bool
+	// Steps overrides the number of time steps for measured experiments.
+	Steps int
+}
+
+// table1Grid returns the sequential-profile problem size.
+func (o Options) table1Grid() (nx, ny, nz, steps int) {
+	if o.Paper {
+		nx, ny, nz, steps = 124, 64, 64, 500
+	} else {
+		nx, ny, nz, steps = 64, 32, 32, 25
+	}
+	if o.Steps > 0 {
+		steps = o.Steps
+	}
+	return
+}
+
+// traceGrid returns the grid used for cache-trace replays. The y–z planes
+// must comfortably exceed the 2 MB L2 for the slab layout to show its
+// paper-scale behavior.
+func (o Options) traceGrid() (nx, ny, nz int) {
+	if o.Paper {
+		return 124, 64, 64
+	}
+	return 64, 64, 64
+}
+
+// sheet52 builds the paper's immersed structure: a 20×20 sheet bearing
+// 52×52 fiber nodes (scaled to 26×26 by default), placed upstream in the
+// tunnel.
+func (o Options) sheet52(domain [3]int) *fiber.Sheet {
+	n := 26
+	if o.Paper {
+		n = 52
+	}
+	w := float64(n) * 0.4
+	return fiber.NewSheet(fiber.Params{
+		NumFibers:     n,
+		NodesPerFiber: n,
+		Width:         w,
+		Height:        w,
+		Origin: fiber.Vec3{
+			float64(domain[0]) / 4,
+			float64(domain[1])/2 - w/2,
+			float64(domain[2])/2 - w/2,
+		},
+		Ks: 0.05,
+		Kb: 0.001,
+	})
+}
+
+// fmtDuration renders a duration in engineering style for tables.
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return d.String()
+	}
+}
+
+// header renders a table header with a rule underneath.
+func header(cols ...string) string {
+	var b strings.Builder
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%s  ", c)
+	}
+	line := strings.TrimRight(b.String(), " ")
+	return line + "\n" + strings.Repeat("-", len(line)) + "\n"
+}

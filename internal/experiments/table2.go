@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lbmib/internal/cachesim"
+	"lbmib/internal/machine"
+	"lbmib/internal/perfmon"
+)
+
+// PaperTable2 holds the paper's measured OpenMP metrics: cores → {L1 miss
+// %, L2 miss %, load imbalance %}.
+var PaperTable2 = map[int][3]float64{
+	1:  {1.76, 26.1, 0},
+	2:  {1.75, 26.1, 1.8},
+	4:  {1.75, 26.1, 1.4},
+	8:  {1.75, 26.2, 5.1},
+	16: {1.74, 27.1, 11},
+	32: {1.76, 27.6, 13},
+}
+
+// Table2Row is one core-count row of the reproduced Table II.
+type Table2Row struct {
+	Cores        int
+	L1MissPct    float64
+	L2MissPct    float64
+	ImbalancePct float64
+}
+
+// Table2Result is the reproduced Table II.
+type Table2Result struct {
+	NX, NY, NZ int
+	Rows       []Table2Row
+}
+
+// Table2 reproduces the paper's Table II for the OpenMP-style (slab
+// layout) solver: L1/L2 miss rates come from replaying the solver's
+// address streams through the simulated Abu Dhabi cache hierarchy (the
+// PAPI substitute), and load imbalance is the deterministic schedule
+// imbalance of the static x-slab and fiber distributions weighted by the
+// kernels' measured time shares (the OmpP substitute; the paper's figure
+// additionally contains runtime variance, so ours is a lower bound with
+// the same growth trend).
+func Table2(opt Options) (Table2Result, error) {
+	m := machine.AbuDhabi32()
+	nx, ny, nz := opt.traceGrid()
+	fibers := 26
+	if opt.Paper {
+		fibers = 52
+	}
+	res := Table2Result{NX: nx, NY: ny, NZ: nz}
+	for _, p := range []int{1, 2, 4, 8, 16, 32} {
+		cores := p
+		if cores > m.Cores {
+			cores = m.Cores
+		}
+		h, err := cachesim.NewHierarchy(m, cores)
+		if err != nil {
+			return res, err
+		}
+		w := &cachesim.Workload{NX: nx, NY: ny, NZ: nz, Threads: cores,
+			FiberRows: fibers, FiberCols: fibers}
+		if err := w.ReplayStep(h); err != nil {
+			return res, err
+		}
+		h.ResetStats()
+		if err := w.ReplayStep(h); err != nil {
+			return res, err
+		}
+		l1, l2, _ := h.MissRates()
+
+		// Load imbalance: fluid kernels (97% of time, static x-slabs of
+		// the paper's 124-plane grid) + fiber kernels (3%, 52 fibers).
+		fluidIm := perfmon.ScheduleImbalance(perfmon.StaticScheduleCounts(124, p))
+		fiberIm := perfmon.ScheduleImbalance(perfmon.StaticScheduleCounts(52, p))
+		imbalance := 0.97*fluidIm + 0.03*fiberIm
+
+		res.Rows = append(res.Rows, Table2Row{
+			Cores:        p,
+			L1MissPct:    100 * l1,
+			L2MissPct:    100 * l2,
+			ImbalancePct: 100 * imbalance,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the result next to the paper's numbers.
+func (r Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II — OpenMP-style solver cache/imbalance metrics (trace grid %d×%d×%d)\n", r.NX, r.NY, r.NZ)
+	b.WriteString(header("Cores", "   L1miss", "   L2miss", "  Imbal", " | paper:", "   L1", "    L2", "  Imbal"))
+	for _, row := range r.Rows {
+		p := PaperTable2[row.Cores]
+		fmt.Fprintf(&b, "%5d  %8.2f%%  %8.2f%%  %6.2f%%  |       %5.2f%%  %5.1f%%  %5.1f%%\n",
+			row.Cores, row.L1MissPct, row.L2MissPct, row.ImbalancePct, p[0], p[1], p[2])
+	}
+	b.WriteString("note: absolute miss rates count word-granular heap traffic in the simulator;\n")
+	b.WriteString("the paper's PAPI rates include all retired loads. Shape criteria: L1 flat with\n")
+	b.WriteString("cores, L2 ≫ L1 and slowly rising, imbalance growing from 0.\n")
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lbmib/internal/machine"
+)
+
+// Table3 renders the reproduced Table III: the hardware description of the
+// 64-core thog system as captured by the machine model.
+func Table3() string {
+	var b strings.Builder
+	b.WriteString("Table III — the experimental 64-core computer system (machine model)\n")
+	b.WriteString(machine.Thog().TableIII())
+	b.WriteString("(hardware substitution: this environment has no 64-core system; the model\n")
+	b.WriteString("above drives the cache simulator and the performance predictor)\n")
+	return b.String()
+}
+
+// Table4 renders the reproduced Table IV: the NUMA node-distance matrix of
+// thog, stored verbatim in the machine model and consumed by the
+// performance predictor's remote-access factor.
+func Table4() string {
+	var b strings.Builder
+	b.WriteString("Table IV — node distances between the 8 NUMA nodes on thog\n")
+	b.WriteString(machine.Thog().TableIV())
+	f := machine.Thog().AverageDistanceFactor()
+	fmt.Fprintf(&b, "average distance factor under interleave=all: %.2f× local\n", f)
+	return b.String()
+}

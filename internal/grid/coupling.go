@@ -1,0 +1,20 @@
+package grid
+
+// AddForce accumulates elastic force f at the periodic image of node
+// (x, y, z). Together with VelocityAt it makes *Grid satisfy the
+// ibm.ForceAccumulator and ibm.VelocitySampler interfaces used by the
+// fluid–structure coupling kernels.
+func (g *Grid) AddForce(x, y, z int, f [3]float64) {
+	x, y, z = g.Wrap(x, y, z)
+	n := &g.Nodes[g.Idx(x, y, z)]
+	n.Force[0] += f[0]
+	n.Force[1] += f[1]
+	n.Force[2] += f[2]
+}
+
+// VelocityAt returns the macroscopic velocity at the periodic image of
+// node (x, y, z).
+func (g *Grid) VelocityAt(x, y, z int) [3]float64 {
+	x, y, z = g.Wrap(x, y, z)
+	return g.Nodes[g.Idx(x, y, z)].Vel
+}

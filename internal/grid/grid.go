@@ -1,0 +1,153 @@
+// Package grid provides the baseline fluid-grid storage used by the
+// sequential and OpenMP-style LBM-IB solvers: a structured Nx×Ny×Nz mesh of
+// fluid nodes stored as one contiguous x-major array of per-node structs
+// (Figure 3 of the paper). Each node carries the two velocity-distribution
+// buffers required by kernel 9 (copy_fluid_velocity_distribution), the
+// macroscopic velocity and density, and the elastic force spread from the
+// immersed structure.
+//
+// The cube-centric layout that the paper's contribution replaces this with
+// lives in internal/cube.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"lbmib/internal/lattice"
+)
+
+// Node holds every per-fluid-node quantity of the LBM-IB method.
+//
+// DF is the "present" velocity-distribution buffer and DFNew the "new"
+// buffer written by streaming; kernel 9 copies DFNew back into DF at the
+// end of each time step exactly as the paper describes. Force accumulates
+// the elastic force spread from fiber nodes during kernel 4 and is cleared
+// when the force has been consumed by the fluid update.
+type Node struct {
+	DF    [lattice.Q]float64 // present velocity distribution g_i
+	DFNew [lattice.Q]float64 // post-streaming distribution
+	Vel   [3]float64         // macroscopic velocity u
+	Rho   float64            // macroscopic density ρ
+	Force [3]float64         // elastic force density from the structure
+}
+
+// Grid is a structured Nx×Ny×Nz fluid mesh with all nodes stored in a
+// single x-major slice: index = (x*Ny + y)*Nz + z. All boundaries are
+// periodic; an optional body force (e.g. a pressure-gradient surrogate
+// driving a tunnel flow) may be applied uniformly by the solvers.
+type Grid struct {
+	NX, NY, NZ int
+	Nodes      []Node
+}
+
+// New allocates an Nx×Ny×Nz grid with every node at rest: ρ = 1, u = 0,
+// and the distributions at their rest-state equilibrium (the lattice
+// weights). It panics on non-positive dimensions, which are programming
+// errors rather than runtime conditions.
+func New(nx, ny, nz int) *Grid {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("grid: non-positive dimensions %d×%d×%d", nx, ny, nz))
+	}
+	g := &Grid{NX: nx, NY: ny, NZ: nz, Nodes: make([]Node, nx*ny*nz)}
+	g.Reset(1, [3]float64{})
+	return g
+}
+
+// Reset reinitializes every node to density rho and velocity u, with both
+// distribution buffers set to the corresponding equilibrium and zero
+// elastic force.
+func (g *Grid) Reset(rho float64, u [3]float64) {
+	var geq [lattice.Q]float64
+	lattice.Equilibrium(rho, u, &geq)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		n.DF = geq
+		n.DFNew = geq
+		n.Rho = rho
+		n.Vel = u
+		n.Force = [3]float64{}
+	}
+}
+
+// Idx returns the flat index of node (x, y, z). Coordinates must already be
+// in range; use Wrap for periodic images.
+func (g *Grid) Idx(x, y, z int) int { return (x*g.NY+y)*g.NZ + z }
+
+// At returns the node at (x, y, z).
+func (g *Grid) At(x, y, z int) *Node { return &g.Nodes[g.Idx(x, y, z)] }
+
+// Wrap maps a possibly out-of-range coordinate triple onto the periodic
+// domain.
+func (g *Grid) Wrap(x, y, z int) (int, int, int) {
+	return wrap(x, g.NX), wrap(y, g.NY), wrap(z, g.NZ)
+}
+
+func wrap(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// NumNodes returns the total number of fluid nodes.
+func (g *Grid) NumNodes() int { return len(g.Nodes) }
+
+// TotalMass returns Σ_nodes Σ_i g_i over the present distribution buffer.
+// The BGK collision and periodic streaming conserve it exactly (up to
+// floating-point rounding), which the test suite exploits as an invariant.
+func (g *Grid) TotalMass() float64 {
+	sum := 0.0
+	for i := range g.Nodes {
+		for _, v := range g.Nodes[i].DF {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TotalMomentum returns Σ_nodes Σ_i e_i g_i over the present buffer.
+func (g *Grid) TotalMomentum() [3]float64 {
+	var m [3]float64
+	for i := range g.Nodes {
+		for q := 0; q < lattice.Q; q++ {
+			v := g.Nodes[i].DF[q]
+			m[0] += v * float64(lattice.E[q][0])
+			m[1] += v * float64(lattice.E[q][1])
+			m[2] += v * float64(lattice.E[q][2])
+		}
+	}
+	return m
+}
+
+// MaxVelocity returns the largest velocity magnitude over all nodes, a
+// cheap stability diagnostic (|u| must stay well below the lattice speed of
+// sound ≈ 0.577 for the simulation to be valid).
+func (g *Grid) MaxVelocity() float64 {
+	max := 0.0
+	for i := range g.Nodes {
+		v := g.Nodes[i].Vel
+		m2 := v[0]*v[0] + v[1]*v[1] + v[2]*v[2]
+		if m2 > max {
+			max = m2
+		}
+	}
+	return math.Sqrt(max)
+}
+
+// ClearForces zeroes the elastic force on every node. Solvers call it at
+// the start of each time step before kernel 4 re-spreads fiber forces.
+func (g *Grid) ClearForces() {
+	for i := range g.Nodes {
+		g.Nodes[i].Force = [3]float64{}
+	}
+}
+
+// Clone returns a deep copy of the grid, used by the validation harness to
+// snapshot states for cross-solver comparison.
+func (g *Grid) Clone() *Grid {
+	c := &Grid{NX: g.NX, NY: g.NY, NZ: g.NZ, Nodes: make([]Node, len(g.Nodes))}
+	copy(c.Nodes, g.Nodes)
+	return c
+}

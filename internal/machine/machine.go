@@ -1,0 +1,204 @@
+// Package machine models the manycore systems of the paper's evaluation.
+// This reproduction runs in an environment without the paper's hardware
+// (and possibly with a single CPU core), so the scaling experiments are
+// driven by an explicit machine model instead of hardware counters and
+// multi-socket wall clocks: the cache hierarchy of Table III, the NUMA
+// node-distance matrix of Table IV, and bandwidth/latency parameters
+// representative of the AMD Opteron 6380 ("thog") and the 32-core Opteron
+// "Abu Dhabi" system used for the OpenMP profile.
+//
+// internal/cachesim consumes the cache geometry; internal/perfsim consumes
+// the latency, bandwidth and NUMA parameters to predict execution times.
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CacheLevel describes one level of the cache hierarchy.
+type CacheLevel struct {
+	Name          string
+	SizeBytes     int
+	LineBytes     int
+	Assoc         int
+	SharedByCores int     // cores sharing one instance of this cache
+	LatencyNs     float64 // load-to-use latency on a hit
+}
+
+// Machine is a shared-memory manycore system model.
+type Machine struct {
+	Name       string
+	Cores      int
+	ClockGHz   float64
+	L1, L2, L3 CacheLevel
+
+	NUMANodes    int
+	CoresPerNUMA int
+	// Distance is the NUMA node-distance matrix in the units of
+	// "numactl --hardware" (10 = local).
+	Distance [][]int
+
+	DRAMLatencyNs   float64 // local-node DRAM latency
+	NodeBandwidthGB float64 // per-NUMA-node memory bandwidth, GB/s
+	InterconnectGB  float64 // total cross-node (HyperTransport) fabric bandwidth, GB/s
+
+	// BarrierBaseNs and BarrierPerThreadNs model the cost of one global
+	// barrier: base + per-thread component (centralized barrier growth).
+	BarrierBaseNs      float64
+	BarrierPerThreadNs float64
+}
+
+// thogDistance is Table IV verbatim: the 8×8 node-distance matrix that
+// "numactl --hardware" reports on thog.
+var thogDistance = [][]int{
+	{10, 16, 16, 22, 16, 22, 16, 22},
+	{16, 10, 22, 16, 22, 16, 22, 16},
+	{16, 22, 10, 16, 16, 22, 16, 22},
+	{22, 16, 16, 10, 22, 16, 22, 16},
+	{16, 22, 16, 22, 10, 16, 16, 22},
+	{22, 16, 22, 16, 16, 10, 22, 16},
+	{16, 22, 16, 22, 16, 22, 10, 16},
+	{22, 16, 22, 16, 22, 16, 16, 10},
+}
+
+// Thog returns the model of the paper's 64-core evaluation system
+// (Table III): four AMD Opteron 6380 processors at 2.5 GHz, 16 cores each;
+// per-core 16 KB L1, 2 MB L2 shared by two cores, 12 MB L3 shared by eight
+// cores; 8 NUMA nodes of 8 cores and 32 GB each.
+func Thog() Machine {
+	return Machine{
+		Name:     "thog (4× AMD Opteron 6380, 64 cores)",
+		Cores:    64,
+		ClockGHz: 2.5,
+		L1: CacheLevel{Name: "L1d", SizeBytes: 16 << 10, LineBytes: 64, Assoc: 4,
+			SharedByCores: 1, LatencyNs: 1.6}, // 4 cycles at 2.5 GHz
+		L2: CacheLevel{Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Assoc: 16,
+			SharedByCores: 2, LatencyNs: 8},
+		L3: CacheLevel{Name: "L3", SizeBytes: 12 << 20, LineBytes: 64, Assoc: 16,
+			SharedByCores: 8, LatencyNs: 24},
+		NUMANodes:          8,
+		CoresPerNUMA:       8,
+		Distance:           thogDistance,
+		DRAMLatencyNs:      95,
+		NodeBandwidthGB:    12.8, // DDR3-1600 dual channel per node
+		InterconnectGB:     32,   // aggregate HyperTransport capacity
+		BarrierBaseNs:      600,
+		BarrierPerThreadNs: 110,
+	}
+}
+
+// AbuDhabi32 returns the model of the 32-core system used for the
+// sequential profile and the OpenMP scaling study (Section III-D/IV-B):
+// two AMD Opteron 16-core "Abu Dhabi" 2.9 GHz processors, 64 GB memory.
+func AbuDhabi32() Machine {
+	m := Thog()
+	m.Name = "32-core AMD Opteron Abu Dhabi (2× 16 cores, 2.9 GHz)"
+	m.Cores = 32
+	m.ClockGHz = 2.9
+	m.NUMANodes = 4
+	m.CoresPerNUMA = 8
+	m.InterconnectGB = 17
+	m.Distance = [][]int{
+		{10, 16, 16, 22},
+		{16, 10, 22, 16},
+		{16, 22, 10, 16},
+		{22, 16, 16, 10},
+	}
+	return m
+}
+
+// AverageDistanceFactor returns the mean NUMA distance (normalized to the
+// local distance 10) seen by a core whose memory pages are interleaved
+// over all nodes — the "numactl --interleave=all" policy the paper runs
+// with.
+func (m Machine) AverageDistanceFactor() float64 {
+	if len(m.Distance) == 0 {
+		return 1
+	}
+	sum, n := 0, 0
+	for _, row := range m.Distance {
+		for _, d := range row {
+			sum += d
+			n++
+		}
+	}
+	return float64(sum) / float64(n) / 10
+}
+
+// ActiveNUMANodes returns how many NUMA nodes host at least one of p
+// threads when threads fill nodes in order (the OS's default compact
+// placement).
+func (m Machine) ActiveNUMANodes(p int) int {
+	if p <= 0 {
+		return 1
+	}
+	n := (p + m.CoresPerNUMA - 1) / m.CoresPerNUMA
+	if n > m.NUMANodes {
+		n = m.NUMANodes
+	}
+	return n
+}
+
+// TableIII renders the hardware description in the layout of the paper's
+// Table III.
+func (m Machine) TableIII() string {
+	var b strings.Builder
+	row := func(k, v string) { fmt.Fprintf(&b, "%-24s %s\n", k, v) }
+	row("System", m.Name)
+	row("Cores", fmt.Sprintf("%d @ %.1f GHz", m.Cores, m.ClockGHz))
+	row("L1 cache", fmt.Sprintf("%d KB per core", m.L1.SizeBytes>>10))
+	row("L2 unified cache", fmt.Sprintf("%d MB, each shared by %d cores", m.L2.SizeBytes>>20, m.L2.SharedByCores))
+	row("L3 unified cache", fmt.Sprintf("%d MB, each shared by %d cores", m.L3.SizeBytes>>20, m.L3.SharedByCores))
+	row("NUMA nodes", fmt.Sprintf("%d (%d cores each)", m.NUMANodes, m.CoresPerNUMA))
+	row("DRAM latency", fmt.Sprintf("%.0f ns local", m.DRAMLatencyNs))
+	row("Node bandwidth", fmt.Sprintf("%.1f GB/s", m.NodeBandwidthGB))
+	return b.String()
+}
+
+// TableIV renders the NUMA distance matrix in the layout of the paper's
+// Table IV.
+func (m Machine) TableIV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node ")
+	for i := range m.Distance {
+		fmt.Fprintf(&b, "%4d", i)
+	}
+	b.WriteByte('\n')
+	for i, row := range m.Distance {
+		fmt.Fprintf(&b, "%3d: ", i)
+		for _, d := range row {
+			fmt.Fprintf(&b, "%4d", d)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks internal consistency of the model.
+func (m Machine) Validate() error {
+	if m.Cores < 1 || m.ClockGHz <= 0 {
+		return fmt.Errorf("machine: bad cores/clock %d/%g", m.Cores, m.ClockGHz)
+	}
+	if len(m.Distance) != m.NUMANodes {
+		return fmt.Errorf("machine: distance matrix has %d rows, want %d", len(m.Distance), m.NUMANodes)
+	}
+	for i, row := range m.Distance {
+		if len(row) != m.NUMANodes {
+			return fmt.Errorf("machine: distance row %d has %d entries", i, len(row))
+		}
+		if row[i] != 10 {
+			return fmt.Errorf("machine: self-distance of node %d is %d, want 10", i, row[i])
+		}
+		for j, d := range row {
+			if m.Distance[j][i] != d {
+				return fmt.Errorf("machine: distance matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if m.NUMANodes*m.CoresPerNUMA != m.Cores {
+		return fmt.Errorf("machine: %d NUMA nodes × %d cores ≠ %d cores",
+			m.NUMANodes, m.CoresPerNUMA, m.Cores)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThogMatchesTableIII(t *testing.T) {
+	m := Thog()
+	if m.Cores != 64 || m.ClockGHz != 2.5 {
+		t.Fatalf("thog cores/clock = %d/%g", m.Cores, m.ClockGHz)
+	}
+	if m.L1.SizeBytes != 16<<10 || m.L1.SharedByCores != 1 {
+		t.Fatalf("thog L1 = %+v", m.L1)
+	}
+	if m.L2.SizeBytes != 2<<20 || m.L2.SharedByCores != 2 {
+		t.Fatalf("thog L2 = %+v", m.L2)
+	}
+	if m.L3.SizeBytes != 12<<20 || m.L3.SharedByCores != 8 {
+		t.Fatalf("thog L3 = %+v", m.L3)
+	}
+	if m.NUMANodes != 8 || m.CoresPerNUMA != 8 {
+		t.Fatalf("thog NUMA = %d×%d", m.NUMANodes, m.CoresPerNUMA)
+	}
+}
+
+func TestThogValidates(t *testing.T) {
+	if err := Thog().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := AbuDhabi32().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThogDistanceMatchesTableIV(t *testing.T) {
+	m := Thog()
+	// Spot checks against the published matrix.
+	checks := []struct{ i, j, d int }{
+		{0, 0, 10}, {0, 1, 16}, {0, 3, 22}, {3, 0, 22}, {7, 6, 16}, {5, 2, 22},
+	}
+	for _, c := range checks {
+		if m.Distance[c.i][c.j] != c.d {
+			t.Fatalf("distance[%d][%d] = %d, want %d", c.i, c.j, m.Distance[c.i][c.j], c.d)
+		}
+	}
+}
+
+func TestAverageDistanceFactor(t *testing.T) {
+	m := Thog()
+	f := m.AverageDistanceFactor()
+	// Table IV: each row has one 10, and the rest split between 16 and 22;
+	// the mean is strictly between 1.0 and 2.2.
+	if f <= 1.0 || f >= 2.2 {
+		t.Fatalf("distance factor = %g out of range", f)
+	}
+	// Exact value: rows each hold {10, 16×4, 22×3} → mean 17.5/10 = 1.75.
+	if f != 1.75 {
+		t.Fatalf("distance factor = %g, want 1.75", f)
+	}
+}
+
+func TestActiveNUMANodes(t *testing.T) {
+	m := Thog()
+	cases := [][2]int{{0, 1}, {1, 1}, {8, 1}, {9, 2}, {16, 2}, {64, 8}, {100, 8}}
+	for _, c := range cases {
+		if got := m.ActiveNUMANodes(c[0]); got != c[1] {
+			t.Fatalf("ActiveNUMANodes(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	m := Thog()
+	m.Distance = [][]int{{10, 16}, {22, 10}}
+	m.NUMANodes = 2
+	m.CoresPerNUMA = 32
+	if err := m.Validate(); err == nil {
+		t.Fatal("asymmetric distance matrix accepted")
+	}
+}
+
+func TestValidateCatchesBadSelfDistance(t *testing.T) {
+	m := AbuDhabi32()
+	m.Distance[2][2] = 12
+	if err := m.Validate(); err == nil {
+		t.Fatal("self-distance != 10 accepted")
+	}
+}
+
+func TestValidateCatchesCoreMismatch(t *testing.T) {
+	m := Thog()
+	m.CoresPerNUMA = 4
+	if err := m.Validate(); err == nil {
+		t.Fatal("NUMA×cores mismatch accepted")
+	}
+}
+
+func TestTableIIIRendering(t *testing.T) {
+	s := Thog().TableIII()
+	for _, want := range []string{"Opteron 6380", "16 KB per core", "2 MB, each shared by 2 cores",
+		"12 MB, each shared by 8 cores", "8 (8 cores each)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("TableIII missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableIVRendering(t *testing.T) {
+	s := Thog().TableIV()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Fatalf("TableIV has %d lines, want 9:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "10") || !strings.Contains(lines[1], "22") {
+		t.Fatalf("TableIV row 0 missing distances: %q", lines[1])
+	}
+}
+
+func TestAbuDhabiDiffersFromThog(t *testing.T) {
+	a, b := AbuDhabi32(), Thog()
+	if a.Cores != 32 || a.ClockGHz != 2.9 || a.NUMANodes != 4 {
+		t.Fatalf("AbuDhabi32 = %d cores %g GHz %d nodes", a.Cores, a.ClockGHz, a.NUMANodes)
+	}
+	if a.Cores == b.Cores {
+		t.Fatal("models must differ")
+	}
+}

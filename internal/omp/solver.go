@@ -1,0 +1,260 @@
+// Package omp implements the paper's first parallel LBM-IB program
+// (Section IV): a loop-parallel solver in the style of the OpenMP
+// implementation. Every kernel of Algorithm 1 becomes a parallel-for
+// region with an implicit barrier at its end:
+//
+//   - fluid kernels (5, 6, 7, 9) are parallelized over the x axis, i.e. the
+//     grid is divided into contiguous segments of y–z surfaces with a
+//     static schedule (Algorithm 2);
+//   - fiber kernels (1, 2, 3, 4, 8) are parallelized over fibers
+//     (Algorithm 3).
+//
+// Force spreading (kernel 4) lets different fibers write the same fluid
+// node, so the fluid force field is protected by one mutex per x-plane;
+// a spreading thread locks a single plane at a time, which keeps the scheme
+// deadlock-free. The resulting accumulation order is nondeterministic, so
+// results match the sequential solver to floating-point tolerance rather
+// than bitwise (the paper likewise validates numerically against the
+// sequential program).
+package omp
+
+import (
+	"sync"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/fiber"
+	"lbmib/internal/ibm"
+	"lbmib/internal/par"
+)
+
+// Schedule selects the loop schedule of the parallel-for regions.
+type Schedule int
+
+const (
+	// Static divides each loop into one contiguous chunk per thread
+	// (the paper's default; it reports identical performance for dynamic).
+	Static Schedule = iota
+	// Dynamic lets idle threads steal fixed-size chunks.
+	Dynamic
+)
+
+// Config configures the OpenMP-style solver.
+type Config struct {
+	core.Config
+	Threads  int      // parallel region width; 0 means 1
+	Schedule Schedule // loop schedule (default Static)
+	Chunk    int      // dynamic-schedule chunk size (default 1 slab/fiber)
+}
+
+// Solver runs LBM-IB time steps with loop-level parallelism. It embeds the
+// sequential solver as its state container and per-node kernel bodies, and
+// overrides the per-kernel loops with parallel regions.
+type Solver struct {
+	*core.Solver
+	Threads  int
+	Schedule Schedule
+	Chunk    int
+
+	team       *par.Team
+	planeLocks []sync.Mutex // one per x-plane, guards Force accumulation
+}
+
+// NewSolver builds the parallel solver and starts its thread team.
+func NewSolver(cfg Config) *Solver {
+	if cfg.Threads < 1 {
+		cfg.Threads = 1
+	}
+	if cfg.Chunk < 1 {
+		cfg.Chunk = 1
+	}
+	s := &Solver{
+		Solver:     core.NewSolver(cfg.Config),
+		Threads:    cfg.Threads,
+		Schedule:   cfg.Schedule,
+		Chunk:      cfg.Chunk,
+		team:       par.NewTeam(cfg.Threads),
+		planeLocks: make([]sync.Mutex, cfg.NX),
+	}
+	return s
+}
+
+// Close releases the worker team.
+func (s *Solver) Close() { s.team.Close() }
+
+// parallelFor dispatches a loop of n iterations under the configured
+// schedule.
+func (s *Solver) parallelFor(n int, body func(tid, lo, hi int)) {
+	if s.Schedule == Dynamic {
+		s.team.ForDynamic(n, s.Chunk, body)
+		return
+	}
+	s.team.ForStatic(n, body)
+}
+
+// Step advances one time step by running the nine kernels as parallel
+// regions in Algorithm 1 order.
+func (s *Solver) Step() {
+	run := func(k core.Kernel, fn func()) {
+		if s.Observer == nil {
+			fn()
+			return
+		}
+		t0 := time.Now()
+		fn()
+		s.Observer.KernelDone(s.StepCount(), k, time.Since(t0))
+	}
+	run(core.KComputeBendingForce, s.ComputeBendingForce)
+	run(core.KComputeStretchingForce, s.ComputeStretchingForce)
+	run(core.KComputeElasticForce, s.ComputeElasticForce)
+	run(core.KSpreadForce, s.SpreadForce)
+	run(core.KComputeCollision, s.ComputeCollision)
+	run(core.KStreamDistribution, s.StreamDistribution)
+	run(core.KUpdateVelocity, s.UpdateVelocity)
+	run(core.KMoveFibers, s.MoveFibers)
+	run(core.KCopyDistribution, s.CopyDistribution)
+	s.AdvanceStep()
+}
+
+// Run executes n time steps.
+func (s *Solver) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// forEachFiber runs body over the global fiber range [lo, hi) mapped onto
+// (sheet, node-range) pieces — the fiber loops of Algorithm 3 generalized
+// to a multi-sheet structure.
+func (s *Solver) forEachFiber(lo, hi int, body func(sh *fiber.Sheet, nodeLo, nodeHi int)) {
+	for g := lo; g < hi; {
+		sh, f := fiber.Locate(s.Sheets, g)
+		// Extend to the run of fibers of this sheet inside [g, hi).
+		run := sh.NumFibers - f
+		if g+run > hi {
+			run = hi - g
+		}
+		body(sh, f*sh.NodesPerFiber, (f+run)*sh.NodesPerFiber)
+		g += run
+	}
+}
+
+// ComputeBendingForce is kernel 1 parallelized over fibers.
+func (s *Solver) ComputeBendingForce() {
+	s.parallelFor(fiber.TotalFibers(s.Sheets), func(_, lo, hi int) {
+		s.forEachFiber(lo, hi, func(sh *fiber.Sheet, a, b int) { sh.ComputeBendingForce(a, b) })
+	})
+}
+
+// ComputeStretchingForce is kernel 2 parallelized over fibers.
+func (s *Solver) ComputeStretchingForce() {
+	s.parallelFor(fiber.TotalFibers(s.Sheets), func(_, lo, hi int) {
+		s.forEachFiber(lo, hi, func(sh *fiber.Sheet, a, b int) { sh.ComputeStretchingForce(a, b) })
+	})
+}
+
+// ComputeElasticForce is kernel 3 parallelized over fibers.
+func (s *Solver) ComputeElasticForce() {
+	s.parallelFor(fiber.TotalFibers(s.Sheets), func(_, lo, hi int) {
+		s.forEachFiber(lo, hi, func(sh *fiber.Sheet, a, b int) { sh.ComputeElasticForce(a, b) })
+	})
+}
+
+// lockedPlanes adapts the fluid grid as an ibm.ForceAccumulator whose
+// accumulation is serialized per x-plane.
+type lockedPlanes struct {
+	s *Solver
+}
+
+func (l lockedPlanes) AddForce(x, y, z int, f [3]float64) {
+	g := l.s.Fluid
+	wx, wy, wz := g.Wrap(x, y, z)
+	l.s.planeLocks[wx].Lock()
+	n := &g.Nodes[g.Idx(wx, wy, wz)]
+	n.Force[0] += f[0]
+	n.Force[1] += f[1]
+	n.Force[2] += f[2]
+	l.s.planeLocks[wx].Unlock()
+}
+
+// SpreadForce is kernel 4: the force-field reset is parallel over x-slabs
+// and the spreading is parallel over fibers with per-x-plane locking.
+func (s *Solver) SpreadForce() {
+	g := s.Fluid
+	body := s.BodyForce
+	s.parallelFor(g.NX, func(_, lo, hi int) {
+		for i := lo * g.NY * g.NZ; i < hi*g.NY*g.NZ; i++ {
+			g.Nodes[i].Force = body
+		}
+	})
+	if len(s.Sheets) == 0 {
+		return
+	}
+	acc := lockedPlanes{s}
+	s.parallelFor(fiber.TotalFibers(s.Sheets), func(_, lo, hi int) {
+		s.forEachFiber(lo, hi, func(sh *fiber.Sheet, a, b int) {
+			area := sh.AreaElement()
+			for i := a; i < b; i++ {
+				ibm.Spread(acc, sh.X[i], sh.Force[i], area)
+			}
+		})
+	})
+}
+
+// ComputeCollision is kernel 5 parallelized over x-slabs (Algorithm 2).
+func (s *Solver) ComputeCollision() {
+	g := s.Fluid
+	tau := s.Tau
+	s.parallelFor(g.NX, func(_, lo, hi int) {
+		for i := lo * g.NY * g.NZ; i < hi*g.NY*g.NZ; i++ {
+			core.CollideNode(&g.Nodes[i], tau)
+		}
+	})
+}
+
+// StreamDistribution is kernel 6 parallelized over x-slabs. Writes into
+// neighbor slabs' DFNew are race-free because each (node, direction) pair
+// has exactly one writer.
+func (s *Solver) StreamDistribution() {
+	g := s.Fluid
+	s.parallelFor(g.NX, func(_, lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for y := 0; y < g.NY; y++ {
+				for z := 0; z < g.NZ; z++ {
+					s.StreamNode(x, y, z)
+				}
+			}
+		}
+	})
+}
+
+// UpdateVelocity is kernel 7 parallelized over x-slabs.
+func (s *Solver) UpdateVelocity() {
+	g := s.Fluid
+	s.parallelFor(g.NX, func(_, lo, hi int) {
+		for i := lo * g.NY * g.NZ; i < hi*g.NY*g.NZ; i++ {
+			core.UpdateVelocityNode(&g.Nodes[i])
+		}
+	})
+}
+
+// MoveFibers is kernel 8 parallelized over fibers. Fluid velocities are
+// read-only here, so no locking is needed.
+func (s *Solver) MoveFibers() {
+	g := s.Fluid
+	s.parallelFor(fiber.TotalFibers(s.Sheets), func(_, lo, hi int) {
+		s.forEachFiber(lo, hi, func(sh *fiber.Sheet, a, b int) {
+			core.MoveSheetNodes(g, sh, a, b)
+		})
+	})
+}
+
+// CopyDistribution is kernel 9 parallelized over x-slabs.
+func (s *Solver) CopyDistribution() {
+	g := s.Fluid
+	s.parallelFor(g.NX, func(_, lo, hi int) {
+		for i := lo * g.NY * g.NZ; i < hi*g.NY*g.NZ; i++ {
+			g.Nodes[i].DF = g.Nodes[i].DFNew
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package omp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/fiber"
+	"lbmib/internal/validate"
+)
+
+func testSheet() *fiber.Sheet {
+	return fiber.NewSheet(fiber.Params{
+		NumFibers: 8, NodesPerFiber: 8, Width: 7, Height: 7,
+		Origin: fiber.Vec3{6, 4.3, 4.6}, Ks: 0.05, Kb: 0.001,
+	})
+}
+
+func baseConfig(sheet *fiber.Sheet) core.Config {
+	return core.Config{
+		NX: 16, NY: 16, NZ: 16, Tau: 0.7,
+		BodyForce: [3]float64{3e-5, 0, 0},
+		Sheet:     sheet,
+	}
+}
+
+// The central correctness property: the OpenMP-style solver must reproduce
+// the sequential solver's state for any thread count and schedule.
+func TestMatchesSequential(t *testing.T) {
+	const steps = 12
+	ref := core.NewSolver(baseConfig(testSheet()))
+	ref.Run(steps)
+
+	for _, threads := range []int{1, 2, 3, 4, 8} {
+		for _, sched := range []Schedule{Static, Dynamic} {
+			s := NewSolver(Config{Config: baseConfig(testSheet()), Threads: threads, Schedule: sched, Chunk: 2})
+			s.Run(steps)
+			gd, err := validate.Grids(ref.Fluid, s.Fluid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gd.Within(validate.DefaultTol) {
+				t.Fatalf("threads=%d sched=%v fluid diverges: %v", threads, sched, gd)
+			}
+			sd, err := validate.Sheets(ref.Sheet(), s.Sheet())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sd.Within(validate.DefaultTol) {
+				t.Fatalf("threads=%d sched=%v sheet diverges: %v", threads, sched, sd)
+			}
+			s.Close()
+		}
+	}
+}
+
+func TestSingleThreadBitwiseEqualsSequential(t *testing.T) {
+	// With one thread there is no accumulation reordering, so the result
+	// must be bitwise identical to the sequential solver.
+	const steps = 8
+	ref := core.NewSolver(baseConfig(testSheet()))
+	ref.Run(steps)
+	s := NewSolver(Config{Config: baseConfig(testSheet()), Threads: 1})
+	defer s.Close()
+	s.Run(steps)
+	for i := range ref.Fluid.Nodes {
+		if ref.Fluid.Nodes[i].DF != s.Fluid.Nodes[i].DF {
+			t.Fatalf("node %d DF differs bitwise at 1 thread", i)
+		}
+	}
+	for i := range ref.Sheet().X {
+		if ref.Sheet().X[i] != s.Sheet().X[i] {
+			t.Fatalf("fiber node %d position differs bitwise at 1 thread", i)
+		}
+	}
+}
+
+func TestMassConserved(t *testing.T) {
+	s := NewSolver(Config{Config: baseConfig(testSheet()), Threads: 4})
+	defer s.Close()
+	m0 := s.Fluid.TotalMass()
+	s.Run(20)
+	if m1 := s.Fluid.TotalMass(); math.Abs(m1-m0) > 1e-9*m0 {
+		t.Fatalf("mass drifted: %g -> %g", m0, m1)
+	}
+}
+
+func TestFluidOnlyRun(t *testing.T) {
+	cfg := baseConfig(nil)
+	s := NewSolver(Config{Config: cfg, Threads: 3})
+	defer s.Close()
+	s.Run(5)
+	if s.StepCount() != 5 {
+		t.Fatalf("StepCount = %d", s.StepCount())
+	}
+	// Uniform body force on periodic box accelerates uniformly.
+	v := s.Fluid.At(3, 3, 3).Vel[0]
+	if v <= 0 {
+		t.Fatalf("body force produced no flow: u_x = %g", v)
+	}
+}
+
+func TestBounceBackMatchesSequential(t *testing.T) {
+	cfg := core.Config{
+		NX: 8, NY: 8, NZ: 8, Tau: 0.8, BCZ: core.BounceBack,
+		BodyForce: [3]float64{1e-4, 0, 0},
+	}
+	ref := core.NewSolver(cfg)
+	ref.Run(15)
+	s := NewSolver(Config{Config: cfg, Threads: 4})
+	defer s.Close()
+	s.Run(15)
+	d, err := validate.Grids(ref.Fluid, s.Fluid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Within(validate.DefaultTol) {
+		t.Fatalf("bounce-back parallel run diverges: %v", d)
+	}
+}
+
+func TestObserverCoverage(t *testing.T) {
+	obs := &countObserver{}
+	s := NewSolver(Config{Config: baseConfig(testSheet()), Threads: 2})
+	defer s.Close()
+	s.Observer = obs
+	s.Run(4)
+	if obs.calls != 4*core.NumKernels {
+		t.Fatalf("observer calls = %d, want %d", obs.calls, 4*core.NumKernels)
+	}
+}
+
+type countObserver struct{ calls int }
+
+func (c *countObserver) KernelDone(step int, k core.Kernel, d time.Duration) { c.calls++ }

@@ -1,0 +1,185 @@
+// Package par is the shared-memory parallel runtime underneath the two
+// parallel LBM-IB solvers. It provides the pieces the paper builds its
+// implementations from:
+//
+//   - Team — a persistent group of worker goroutines, the analogue of an
+//     OpenMP thread team or a set of pthreads created once in main()
+//     (Algorithm 4's create_thread loop);
+//   - Barrier — a reusable global barrier (thread_barrier_wait);
+//   - parallel-for helpers with OpenMP-style static and dynamic schedules
+//     (Algorithm 2/3's "#pragma omp parallel for");
+//   - Mesh — the P×Q×R logical thread mesh of Section V-A;
+//   - the data-distribution functions cube2thread and fiber2thread with
+//     block, cyclic, and block-cyclic policies.
+package par
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Team is a persistent group of n worker goroutines addressed by thread id
+// 0..n−1. Work is issued with Run (every worker executes the function, like
+// an OpenMP parallel region) or the For* helpers. Workers live until Close.
+//
+// A Team with n == 1 executes work inline on the calling goroutine, so the
+// single-threaded configurations measure no scheduling overhead — matching
+// how a 1-thread OpenMP program behaves.
+type Team struct {
+	n      int
+	work   []chan func()
+	wg     sync.WaitGroup // tracks outstanding work items
+	closed bool
+}
+
+// NewTeam creates a team of n workers. It panics if n < 1 (a programming
+// error).
+func NewTeam(n int) *Team {
+	if n < 1 {
+		panic(fmt.Sprintf("par: team size %d", n))
+	}
+	t := &Team{n: n}
+	if n == 1 {
+		return t
+	}
+	t.work = make([]chan func(), n)
+	for i := 0; i < n; i++ {
+		ch := make(chan func(), 1)
+		t.work[i] = ch
+		go func() {
+			for fn := range ch {
+				fn()
+				t.wg.Done()
+			}
+		}()
+	}
+	return t
+}
+
+// Size returns the number of workers.
+func (t *Team) Size() int { return t.n }
+
+// Run executes fn(tid) on every worker simultaneously and returns when all
+// have finished — the equivalent of an OpenMP parallel region or of joining
+// a pthread fan-out.
+func (t *Team) Run(fn func(tid int)) {
+	if t.n == 1 {
+		fn(0)
+		return
+	}
+	t.wg.Add(t.n)
+	for i := 0; i < t.n; i++ {
+		tid := i
+		t.work[i] <- func() { fn(tid) }
+	}
+	t.wg.Wait()
+}
+
+// Close shuts the workers down. The team must be idle. Close is idempotent.
+func (t *Team) Close() {
+	if t.closed || t.n == 1 {
+		t.closed = true
+		return
+	}
+	t.closed = true
+	for _, ch := range t.work {
+		close(ch)
+	}
+}
+
+// StaticRange computes the half-open index range [lo, hi) that thread tid
+// of nthreads owns under an OpenMP static schedule over n iterations:
+// contiguous chunks whose sizes differ by at most one. It is exported as a
+// pure function so the load-imbalance analysis can reason about schedules
+// without running them.
+func StaticRange(n, nthreads, tid int) (lo, hi int) {
+	base := n / nthreads
+	rem := n % nthreads
+	if tid < rem {
+		lo = tid * (base + 1)
+		hi = lo + base + 1
+		return
+	}
+	lo = rem*(base+1) + (tid-rem)*base
+	hi = lo + base
+	return
+}
+
+// ForStatic runs body over [0, n) split into one contiguous chunk per
+// worker (OpenMP "schedule(static)"), with an implicit barrier at the end:
+// it returns only when every chunk is done.
+func (t *Team) ForStatic(n int, body func(tid, lo, hi int)) {
+	t.Run(func(tid int) {
+		lo, hi := StaticRange(n, t.n, tid)
+		if lo < hi {
+			body(tid, lo, hi)
+		}
+	})
+}
+
+// ForDynamic runs body over [0, n) in chunks of the given size that idle
+// workers claim from a shared counter (OpenMP "schedule(dynamic, chunk)"),
+// with an implicit barrier at the end. chunk < 1 is treated as 1.
+func (t *Team) ForDynamic(n, chunk int, body func(tid, lo, hi int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next int64
+	t.Run(func(tid int) {
+		for {
+			lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(tid, lo, hi)
+		}
+	})
+}
+
+// Barrier is a reusable counting barrier for a fixed number of
+// participants — the thread_barrier_wait() of Algorithm 4. The zero value
+// is not usable; create one with NewBarrier.
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase uint64
+}
+
+// NewBarrier creates a barrier for n participants (n ≥ 1).
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic(fmt.Sprintf("par: barrier size %d", n))
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n participants have called Wait, then releases
+// them together. The barrier is immediately reusable for the next phase.
+func (b *Barrier) Wait() {
+	if b.n == 1 {
+		return
+	}
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

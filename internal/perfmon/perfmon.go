@@ -1,0 +1,218 @@
+// Package perfmon is the library's performance-measurement substrate: the
+// substitute for the gprof and OmpP profilers the paper uses.
+//
+//   - KernelProfile accumulates wall-clock time per LBM-IB kernel and
+//     renders the paper's Table I (percentage of total execution time per
+//     kernel, ranked).
+//   - PhaseProfile accumulates per-thread time per Algorithm-4 loop nest
+//     and computes the load-imbalance ratio of Table II.
+//   - ScheduleImbalance computes the deterministic component of load
+//     imbalance implied by a static schedule, independent of timers.
+package perfmon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/cubesolver"
+	"lbmib/internal/par"
+)
+
+// KernelProfile implements core.Observer, accumulating total time per
+// kernel. It is safe for concurrent use (the OpenMP-style solver reports
+// from its coordinating goroutine only, but the API does not promise
+// that).
+type KernelProfile struct {
+	mu    sync.Mutex
+	total [core.NumKernels + 1]time.Duration
+	calls [core.NumKernels + 1]int
+}
+
+// KernelDone records one kernel execution.
+func (p *KernelProfile) KernelDone(step int, k core.Kernel, d time.Duration) {
+	if k < 1 || k > core.NumKernels {
+		return
+	}
+	p.mu.Lock()
+	p.total[k] += d
+	p.calls[k]++
+	p.mu.Unlock()
+}
+
+// Total returns the summed time across all kernels.
+func (p *KernelProfile) Total() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t time.Duration
+	for _, d := range p.total {
+		t += d
+	}
+	return t
+}
+
+// KernelTime returns the accumulated time of kernel k.
+func (p *KernelProfile) KernelTime(k core.Kernel) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total[k]
+}
+
+// Calls returns how many times kernel k was recorded.
+func (p *KernelProfile) Calls(k core.Kernel) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls[k]
+}
+
+// Row is one line of the Table-I-style report.
+type Row struct {
+	Kernel  core.Kernel
+	Time    time.Duration
+	Percent float64
+}
+
+// Ranked returns the kernels ordered by descending total time with their
+// share of the summed kernel time — exactly the columns of Table I.
+func (p *KernelProfile) Ranked() []Row {
+	total := p.Total()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rows := make([]Row, 0, core.NumKernels)
+	for k := core.Kernel(1); k <= core.NumKernels; k++ {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(p.total[k]) / float64(total)
+		}
+		rows = append(rows, Row{Kernel: k, Time: p.total[k], Percent: pct})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Time > rows[j].Time })
+	return rows
+}
+
+// Report renders the ranked profile as a text table.
+func (p *KernelProfile) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-36s %10s %8s\n", "Kernel", "Kernel Name", "Time", "% Total")
+	for _, r := range p.Ranked() {
+		fmt.Fprintf(&b, "%-6d %-36s %10s %7.2f%%\n", int(r.Kernel), r.Kernel.String(), r.Time.Round(time.Microsecond), r.Percent)
+	}
+	fmt.Fprintf(&b, "%-6s %-36s %10s\n", "", "total", p.Total().Round(time.Microsecond))
+	return b.String()
+}
+
+// PhaseProfile implements cubesolver.PhaseObserver: it accumulates, per
+// thread and per loop nest, the time spent computing, and derives the
+// load-imbalance ratio the paper measures with OmpP.
+type PhaseProfile struct {
+	mu      sync.Mutex
+	threads int
+	// perStepPhase[phase][tid] accumulated over all steps.
+	perPhase [cubesolver.NumPhases + 1][]time.Duration
+}
+
+// NewPhaseProfile creates a profile for the given thread count.
+func NewPhaseProfile(threads int) *PhaseProfile {
+	p := &PhaseProfile{threads: threads}
+	for i := range p.perPhase {
+		p.perPhase[i] = make([]time.Duration, threads)
+	}
+	return p
+}
+
+// PhaseDone records one worker's time in one loop nest.
+func (p *PhaseProfile) PhaseDone(step, tid int, ph cubesolver.Phase, d time.Duration) {
+	if ph < 1 || ph > cubesolver.NumPhases || tid < 0 || tid >= p.threads {
+		return
+	}
+	p.mu.Lock()
+	p.perPhase[ph][tid] += d
+	p.mu.Unlock()
+}
+
+// Imbalance returns the load-imbalance ratio relative to the whole
+// program, as OmpP defines it: the time threads spend waiting at the end
+// of parallel work (Σ_phases Σ_t (max_t − T_t)) divided by the total
+// parallel time (threads × Σ_phases max_t).
+func (p *PhaseProfile) Imbalance() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var waiting, total float64
+	for ph := 1; ph <= cubesolver.NumPhases; ph++ {
+		var max time.Duration
+		for _, d := range p.perPhase[ph] {
+			if d > max {
+				max = d
+			}
+		}
+		for _, d := range p.perPhase[ph] {
+			waiting += float64(max - d)
+			total += float64(max)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return waiting / total
+}
+
+// ThreadTime returns the total computing time of thread tid across phases.
+func (p *PhaseProfile) ThreadTime(tid int) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t time.Duration
+	for ph := 1; ph <= cubesolver.NumPhases; ph++ {
+		if tid >= 0 && tid < len(p.perPhase[ph]) {
+			t += p.perPhase[ph][tid]
+		}
+	}
+	return t
+}
+
+// PhaseTime returns the per-thread times of one loop nest.
+func (p *PhaseProfile) PhaseTime(ph cubesolver.Phase) []time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]time.Duration, p.threads)
+	copy(out, p.perPhase[ph])
+	return out
+}
+
+// ScheduleImbalance computes the deterministic load-imbalance ratio of a
+// work distribution: given the number of items each thread owns (all items
+// equally expensive), it returns (max − mean)/max — the fraction of the
+// parallel region's critical path spent waiting. It is the noise-free
+// component of the Table II "load imbalance" column.
+func ScheduleImbalance(counts []int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	max, sum := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	if max == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(counts))
+	return (float64(max) - mean) / float64(max)
+}
+
+// StaticScheduleCounts returns how many of n items each of nthreads owns
+// under the OpenMP static schedule — the per-thread workload of the
+// paper's fluid kernels, whose x-axis extent rarely divides the thread
+// count evenly.
+func StaticScheduleCounts(n, nthreads int) []int {
+	counts := make([]int, nthreads)
+	for tid := 0; tid < nthreads; tid++ {
+		lo, hi := par.StaticRange(n, nthreads, tid)
+		counts[tid] = hi - lo
+	}
+	return counts
+}

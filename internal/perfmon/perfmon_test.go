@@ -1,0 +1,188 @@
+package perfmon
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/cubesolver"
+	"lbmib/internal/fiber"
+)
+
+func TestKernelProfileAccumulates(t *testing.T) {
+	p := &KernelProfile{}
+	p.KernelDone(0, core.KComputeCollision, 30*time.Millisecond)
+	p.KernelDone(1, core.KComputeCollision, 50*time.Millisecond)
+	p.KernelDone(0, core.KStreamDistribution, 20*time.Millisecond)
+	if got := p.KernelTime(core.KComputeCollision); got != 80*time.Millisecond {
+		t.Fatalf("collision time = %v", got)
+	}
+	if p.Calls(core.KComputeCollision) != 2 {
+		t.Fatalf("collision calls = %d", p.Calls(core.KComputeCollision))
+	}
+	if p.Total() != 100*time.Millisecond {
+		t.Fatalf("total = %v", p.Total())
+	}
+}
+
+func TestKernelProfileIgnoresBogusKernels(t *testing.T) {
+	p := &KernelProfile{}
+	p.KernelDone(0, core.Kernel(0), time.Second)
+	p.KernelDone(0, core.Kernel(99), time.Second)
+	if p.Total() != 0 {
+		t.Fatal("bogus kernel indices were recorded")
+	}
+}
+
+func TestRankedOrderAndPercent(t *testing.T) {
+	p := &KernelProfile{}
+	p.KernelDone(0, core.KComputeCollision, 730*time.Millisecond)
+	p.KernelDone(0, core.KUpdateVelocity, 126*time.Millisecond)
+	p.KernelDone(0, core.KCopyDistribution, 59*time.Millisecond)
+	p.KernelDone(0, core.KStreamDistribution, 54*time.Millisecond)
+	rows := p.Ranked()
+	if rows[0].Kernel != core.KComputeCollision {
+		t.Fatalf("top kernel = %v", rows[0].Kernel)
+	}
+	if rows[1].Kernel != core.KUpdateVelocity || rows[2].Kernel != core.KCopyDistribution {
+		t.Fatalf("rank order wrong: %v, %v", rows[1].Kernel, rows[2].Kernel)
+	}
+	if math.Abs(rows[0].Percent-75.33) > 0.1 {
+		t.Fatalf("top percent = %g, want ≈75.3", rows[0].Percent)
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.Percent
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("percents sum to %g", sum)
+	}
+}
+
+func TestReportContainsKernelNames(t *testing.T) {
+	p := &KernelProfile{}
+	p.KernelDone(0, core.KComputeCollision, time.Second)
+	rep := p.Report()
+	for _, want := range []string{"compute_fluid_collision", "% Total", "total"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestPhaseProfileImbalanceZeroWhenEqual(t *testing.T) {
+	p := NewPhaseProfile(4)
+	for tid := 0; tid < 4; tid++ {
+		p.PhaseDone(0, tid, cubesolver.PhaseCollideStream, 10*time.Millisecond)
+	}
+	if im := p.Imbalance(); im != 0 {
+		t.Fatalf("equal threads imbalance = %g", im)
+	}
+}
+
+func TestPhaseProfileImbalanceDetectsSkew(t *testing.T) {
+	p := NewPhaseProfile(2)
+	p.PhaseDone(0, 0, cubesolver.PhaseCollideStream, 20*time.Millisecond)
+	p.PhaseDone(0, 1, cubesolver.PhaseCollideStream, 10*time.Millisecond)
+	// Waiting = (20−20)+(20−10) = 10; total = 2×20 = 40 → 0.25.
+	if im := p.Imbalance(); math.Abs(im-0.25) > 1e-12 {
+		t.Fatalf("imbalance = %g, want 0.25", im)
+	}
+}
+
+func TestPhaseProfileIgnoresOutOfRange(t *testing.T) {
+	p := NewPhaseProfile(2)
+	p.PhaseDone(0, 5, cubesolver.PhaseCopy, time.Second)           // bad tid
+	p.PhaseDone(0, 0, cubesolver.Phase(0), time.Second)            // bad phase
+	p.PhaseDone(0, 0, cubesolver.Phase(99), time.Second)           // bad phase
+	p.PhaseDone(0, -1, cubesolver.PhaseCollideStream, time.Second) // bad tid
+	if p.Imbalance() != 0 {
+		t.Fatal("out-of-range records were kept")
+	}
+}
+
+func TestThreadTimeAndPhaseTime(t *testing.T) {
+	p := NewPhaseProfile(3)
+	p.PhaseDone(0, 1, cubesolver.PhaseFibersForce, 5*time.Millisecond)
+	p.PhaseDone(0, 1, cubesolver.PhaseCopy, 7*time.Millisecond)
+	if got := p.ThreadTime(1); got != 12*time.Millisecond {
+		t.Fatalf("ThreadTime(1) = %v", got)
+	}
+	pt := p.PhaseTime(cubesolver.PhaseCopy)
+	if len(pt) != 3 || pt[1] != 7*time.Millisecond || pt[0] != 0 {
+		t.Fatalf("PhaseTime = %v", pt)
+	}
+}
+
+func TestScheduleImbalance(t *testing.T) {
+	if im := ScheduleImbalance([]int{4, 4, 4, 4}); im != 0 {
+		t.Fatalf("balanced imbalance = %g", im)
+	}
+	// counts {4,4,4,3}: mean 3.75, max 4 → (4−3.75)/4 = 0.0625.
+	if im := ScheduleImbalance([]int{4, 4, 4, 3}); math.Abs(im-0.0625) > 1e-12 {
+		t.Fatalf("imbalance = %g, want 0.0625", im)
+	}
+	if ScheduleImbalance(nil) != 0 || ScheduleImbalance([]int{0, 0}) != 0 {
+		t.Fatal("degenerate schedules must report 0")
+	}
+}
+
+func TestStaticScheduleCounts(t *testing.T) {
+	counts := StaticScheduleCounts(124, 32)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+		if c != 3 && c != 4 {
+			t.Fatalf("chunk size %d, want 3 or 4", c)
+		}
+	}
+	if sum != 124 {
+		t.Fatalf("counts sum to %d", sum)
+	}
+}
+
+// The deterministic imbalance of the paper's static schedule grows as the
+// core count rises — the trend Table II reports.
+func TestScheduleImbalanceGrowsWithCores(t *testing.T) {
+	prev := -1.0
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		im := ScheduleImbalance(StaticScheduleCounts(124, p))
+		if im < prev {
+			t.Fatalf("imbalance decreased at %d cores: %g -> %g", p, prev, im)
+		}
+		prev = im
+	}
+	if prev == 0 {
+		t.Fatal("32-core schedule of 124 slabs cannot be perfectly balanced")
+	}
+}
+
+// KernelProfile plugged into the real sequential solver must rank the
+// fluid kernels above the fiber kernels (the Table I headline).
+func TestProfileRealSolverRanksFluidKernelsFirst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real solver")
+	}
+	prof := &KernelProfile{}
+	sh := fiber.NewSheet(fiber.Params{NumFibers: 8, NodesPerFiber: 8, Width: 7, Height: 7,
+		Origin: fiber.Vec3{6, 4, 4}, Ks: 0.05, Kb: 0.001})
+	s := core.NewSolver(core.Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: sh})
+	s.Observer = prof
+	s.Run(5)
+	rows := prof.Ranked()
+	if rows[0].Kernel != core.KComputeCollision {
+		t.Fatalf("top kernel = %v, want compute_fluid_collision", rows[0].Kernel)
+	}
+	// The three fiber-only force kernels must be in the bottom half.
+	rank := map[core.Kernel]int{}
+	for i, r := range rows {
+		rank[r.Kernel] = i
+	}
+	for _, k := range []core.Kernel{core.KComputeBendingForce, core.KComputeStretchingForce, core.KComputeElasticForce} {
+		if rank[k] < 4 {
+			t.Fatalf("fiber kernel %v ranked %d, want bottom half", k, rank[k])
+		}
+	}
+}

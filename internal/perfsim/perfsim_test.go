@@ -1,0 +1,206 @@
+package perfsim
+
+import (
+	"testing"
+
+	"lbmib/internal/cachesim"
+	"lbmib/internal/machine"
+)
+
+func even(nodesPerThread, threads int) Schedule {
+	n := make([]int, threads)
+	for i := range n {
+		n[i] = nodesPerThread
+	}
+	return Schedule{NodesPerThread: n}
+}
+
+func sampleTraffic() Traffic {
+	// Representative of the measured slab-layout traffic.
+	return Traffic{Accesses: 350, L2: 31, L3: 10, Mem: 10}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{}).Validate(); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	if err := (Schedule{NodesPerThread: []int{3, -1}}).Validate(); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+	if err := even(10, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepTimePositiveAndFinite(t *testing.T) {
+	p := NewPredictor(machine.Thog())
+	ns, err := p.StepTimeNs(sampleTraffic(), even(64*64*64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns <= 0 || ns != ns {
+		t.Fatalf("StepTimeNs = %g", ns)
+	}
+}
+
+func TestMoreWorkTakesLonger(t *testing.T) {
+	p := NewPredictor(machine.Thog())
+	small, _ := p.StepTimeNs(sampleTraffic(), even(1<<15, 4))
+	large, _ := p.StepTimeNs(sampleTraffic(), even(1<<17, 4))
+	if large <= small {
+		t.Fatalf("4× work not slower: %g vs %g", small, large)
+	}
+}
+
+// Strong scaling: with fixed total work, more threads must be faster, and
+// efficiency must decay monotonically once contention sets in.
+func TestStrongScalingMonotone(t *testing.T) {
+	p := NewPredictor(machine.AbuDhabi32())
+	total := 124 * 64 * 64
+	var t1, prevTime float64
+	prevEff := 1.1
+	for _, threads := range []int{1, 2, 4, 8, 16, 32} {
+		tns, err := p.StepTimeNs(sampleTraffic(),
+			Schedule{NodesPerThread: evenCounts(total/threads, threads), Regions: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t1 == 0 {
+			t1 = tns
+		}
+		if prevTime > 0 && tns >= prevTime {
+			t.Fatalf("no speedup at %d threads: %g -> %g", threads, prevTime, tns)
+		}
+		prevTime = tns
+		eff := t1 / tns / float64(threads)
+		if eff > prevEff+1e-9 {
+			t.Fatalf("efficiency increased at %d threads: %g -> %g", threads, prevEff, eff)
+		}
+		prevEff = eff
+	}
+	if prevEff > 0.6 {
+		t.Fatalf("32-thread efficiency %g shows no contention; paper band is ~0.38", prevEff)
+	}
+}
+
+func evenCounts(per, threads int) []int {
+	n := make([]int, threads)
+	for i := range n {
+		n[i] = per
+	}
+	return n
+}
+
+// Weak scaling: fixed per-thread work, growing thread count — time must be
+// non-decreasing (contention can only hurt).
+func TestWeakScalingNonDecreasing(t *testing.T) {
+	p := NewPredictor(machine.Thog())
+	prev := 0.0
+	for _, threads := range []int{1, 2, 4, 8, 16, 32, 64} {
+		tns, err := p.StepTimeNs(sampleTraffic(), Schedule{NodesPerThread: evenCounts(64*64*64, threads), Regions: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tns < prev {
+			t.Fatalf("weak scaling time decreased at %d threads: %g -> %g", threads, prev, tns)
+		}
+		prev = tns
+	}
+}
+
+// Lower memory traffic must never predict a slower step — the ordering the
+// cube layout's advantage rests on.
+func TestLessTrafficIsFaster(t *testing.T) {
+	p := NewPredictor(machine.Thog())
+	slab := Traffic{Accesses: 350, L2: 31, L3: 10, Mem: 10}
+	cube := Traffic{Accesses: 350, L2: 27, L3: 6, Mem: 6}
+	s := Schedule{NodesPerThread: evenCounts(64*64*64, 64), Barriers: 4}
+	tSlab, _ := p.StepTimeNs(slab, s)
+	tCube, _ := p.StepTimeNs(cube, s)
+	if tCube >= tSlab {
+		t.Fatalf("lower traffic not faster: cube %g vs slab %g", tCube, tSlab)
+	}
+}
+
+// An imbalanced schedule must be slower than a balanced one with the same
+// total work.
+func TestImbalancePenalty(t *testing.T) {
+	p := NewPredictor(machine.Thog())
+	tr := sampleTraffic()
+	balanced := Schedule{NodesPerThread: []int{1000, 1000, 1000, 1000}}
+	skewed := Schedule{NodesPerThread: []int{2500, 500, 500, 500}}
+	tb, _ := p.StepTimeNs(tr, balanced)
+	ts, _ := p.StepTimeNs(tr, skewed)
+	if ts <= tb {
+		t.Fatalf("imbalance not penalized: %g vs %g", ts, tb)
+	}
+}
+
+// More synchronization must cost time: the 9-region OpenMP schedule is
+// slower than the 4-barrier cube schedule for identical work and traffic.
+func TestSynchronizationCost(t *testing.T) {
+	p := NewPredictor(machine.Thog())
+	tr := sampleTraffic()
+	nodes := evenCounts(10000, 32)
+	t9, _ := p.StepTimeNs(tr, Schedule{NodesPerThread: nodes, Regions: 9})
+	t4, _ := p.StepTimeNs(tr, Schedule{NodesPerThread: nodes, Barriers: 4})
+	if t9 <= t4 {
+		t.Fatalf("9 regions not slower than 4 barriers: %g vs %g", t9, t4)
+	}
+}
+
+func TestStepTimeSecondsConsistent(t *testing.T) {
+	p := NewPredictor(machine.Thog())
+	s := even(1000, 2)
+	ns, _ := p.StepTimeNs(sampleTraffic(), s)
+	sec, err := p.StepTime(sampleTraffic(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := sec - ns*1e-9; diff > 1e-18 || diff < -1e-18 {
+		t.Fatalf("StepTime inconsistent: %g vs %g", sec, ns*1e-9)
+	}
+}
+
+func TestMeasureProducesSaneTraffic(t *testing.T) {
+	m := machine.Thog()
+	tr, err := Measure(m, &cachesim.Workload{NX: 32, NY: 32, NZ: 32, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Accesses <= 0 || tr.L2 <= 0 || tr.L3 < 0 || tr.Mem < 0 {
+		t.Fatalf("traffic = %+v", tr)
+	}
+	// The hierarchy is inclusive in access counting: accesses shrink
+	// monotonically down the hierarchy.
+	if !(tr.Accesses >= tr.L2 && tr.L2 >= tr.L3 && tr.L3 >= tr.Mem) {
+		t.Fatalf("traffic not monotone down the hierarchy: %+v", tr)
+	}
+}
+
+func TestMeasureErrorPropagates(t *testing.T) {
+	if _, err := Measure(machine.Thog(), &cachesim.Workload{NX: 10, NY: 8, NZ: 8, CubeSize: 4, Threads: 1}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+// The slab layout must generate more DRAM traffic per node than the cube
+// layout at a grid size whose y–z planes exceed L2 — the measured fact the
+// whole reproduction of Figure 8 rests on.
+func TestMeasuredCubeTrafficBelowSlab(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second trace replay")
+	}
+	m := machine.Thog()
+	slab, err := Measure(m, &cachesim.Workload{NX: 64, NY: 64, NZ: 64, Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := Measure(m, &cachesim.Workload{NX: 64, NY: 64, NZ: 64, CubeSize: 16, Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.Mem >= slab.Mem {
+		t.Fatalf("cube DRAM traffic %.2f not below slab %.2f", cube.Mem, slab.Mem)
+	}
+}

@@ -1,0 +1,167 @@
+package soa
+
+import (
+	"math"
+	"testing"
+
+	"lbmib/internal/core"
+	"lbmib/internal/fiber"
+	"lbmib/internal/lattice"
+)
+
+func testSheet() *fiber.Sheet {
+	return fiber.NewSheet(fiber.Params{
+		NumFibers: 8, NodesPerFiber: 8, Width: 7, Height: 7,
+		Origin: fiber.Vec3{6, 4.3, 4.6}, Ks: 0.05, Kb: 0.001,
+	})
+}
+
+// The SoA solver performs arithmetically identical operations in the same
+// order as the AoS reference, so all observable fields must match
+// bitwise.
+func TestBitwiseEqualsAoS(t *testing.T) {
+	const steps = 12
+	ref := core.NewSolver(core.Config{
+		NX: 16, NY: 16, NZ: 16, Tau: 0.7,
+		BodyForce: [3]float64{3e-5, 0, 0}, Sheet: testSheet(),
+	})
+	ref.Run(steps)
+	s, err := NewSolver(Config{
+		NX: 16, NY: 16, NZ: 16, Tau: 0.7,
+		BodyForce: [3]float64{3e-5, 0, 0}, Sheet: testSheet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(steps)
+	g := s.Fluid.ToGrid()
+	for i := range ref.Fluid.Nodes {
+		a, b := &ref.Fluid.Nodes[i], &g.Nodes[i]
+		if a.DF != b.DF {
+			t.Fatalf("node %d DF differs bitwise", i)
+		}
+		if a.Vel != b.Vel || a.Rho != b.Rho || a.Force != b.Force {
+			t.Fatalf("node %d macroscopic state differs bitwise", i)
+		}
+	}
+	for i := range ref.Sheet().X {
+		if ref.Sheet().X[i] != s.Sheet().X[i] {
+			t.Fatalf("fiber node %d differs bitwise", i)
+		}
+	}
+}
+
+func TestBounceBackAndLidBitwise(t *testing.T) {
+	const steps = 25
+	mkCore := core.NewSolver(core.Config{
+		NX: 8, NY: 8, NZ: 8, Tau: 0.9, BCZ: core.BounceBack,
+		LidVelocity: [3]float64{0.02, 0, 0},
+	})
+	mkCore.Run(steps)
+	s, err := NewSolver(Config{
+		NX: 8, NY: 8, NZ: 8, Tau: 0.9, BCZ: core.BounceBack,
+		LidVelocity: [3]float64{0.02, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(steps)
+	g := s.Fluid.ToGrid()
+	for i := range mkCore.Fluid.Nodes {
+		if mkCore.Fluid.Nodes[i].DF != g.Nodes[i].DF {
+			t.Fatalf("node %d differs with walls+lid", i)
+		}
+	}
+}
+
+func TestMassConserved(t *testing.T) {
+	s, err := NewSolver(Config{NX: 12, NY: 12, NZ: 12, Tau: 0.7,
+		BodyForce: [3]float64{1e-4, 0, 0}, Sheet: testSheet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := s.Fluid.TotalMass()
+	s.Run(20)
+	if m1 := s.Fluid.TotalMass(); math.Abs(m1-m0) > 1e-9*m0 {
+		t.Fatalf("mass drifted %g -> %g", m0, m1)
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 4, 4); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+	if _, err := NewSolver(Config{NX: 4, NY: 4, NZ: 4, Tau: 0.3}); err == nil {
+		t.Fatal("bad tau accepted")
+	}
+}
+
+func TestAddForceAndVelocityWrap(t *testing.T) {
+	g, err := NewGrid(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddForce(-1, 4, 2, [3]float64{1, 2, 3})
+	i := g.Idx(3, 0, 2)
+	if g.Force[0][i] != 1 || g.Force[1][i] != 2 || g.Force[2][i] != 3 {
+		t.Fatal("AddForce did not wrap")
+	}
+	g.Vel[0][i] = 0.5
+	if v := g.VelocityAt(-1, 4, 2); v[0] != 0.5 {
+		t.Fatal("VelocityAt did not wrap")
+	}
+}
+
+func TestToGridRoundTripFields(t *testing.T) {
+	s, err := NewSolver(Config{NX: 6, NY: 6, NZ: 6, Tau: 0.7,
+		BodyForce: [3]float64{1e-4, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3)
+	g := s.Fluid.ToGrid()
+	i := g.Idx(2, 3, 4)
+	flat := s.Fluid.Idx(2, 3, 4)
+	if g.Nodes[i].Rho != s.Fluid.Rho[flat] {
+		t.Fatal("ToGrid lost density")
+	}
+	for q := 0; q < lattice.Q; q++ {
+		if g.Nodes[i].DF[q] != s.Fluid.DF[s.Fluid.cur][q][flat] {
+			t.Fatal("ToGrid lost distributions")
+		}
+	}
+}
+
+// The point of the layout: kernel 9 has no per-node cost at all, so an
+// SoA step must never be slower than AoS's copy kernel alone... we assert
+// the structural fact instead of timing: stepping twice alternates the
+// buffer index without copying.
+func TestSwapAlternatesBuffers(t *testing.T) {
+	s, err := NewSolver(Config{NX: 4, NY: 4, NZ: 4, Tau: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fluid.cur != 0 {
+		t.Fatal("initial buffer not 0")
+	}
+	s.Step()
+	if s.Fluid.cur != 1 {
+		t.Fatal("buffer did not swap")
+	}
+	s.Step()
+	if s.Fluid.cur != 0 {
+		t.Fatal("buffer did not swap back")
+	}
+}
+
+func BenchmarkSoAStep32(b *testing.B) {
+	s, err := NewSolver(Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7,
+		BodyForce: [3]float64{1e-5, 0, 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,99 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"lbmib/internal/fiber"
+)
+
+func TestCandidates(t *testing.T) {
+	got := Candidates(16, 16, 16)
+	want := []int{2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("Candidates(16³) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Candidates(16³) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCandidatesMixedDims(t *testing.T) {
+	got := Candidates(24, 16, 8)
+	want := []int{2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("Candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCandidatesPrimeDims(t *testing.T) {
+	if got := Candidates(7, 7, 7); got != nil && len(got) != 1 {
+		// Only 7 divides all three.
+		if len(got) != 1 || got[0] != 7 {
+			t.Fatalf("Candidates(7³) = %v, want [7]", got)
+		}
+	}
+}
+
+func TestTunePicksAValidSize(t *testing.T) {
+	r, err := Tune(Options{
+		NX: 16, NY: 16, NZ: 16, Threads: 1, Tau: 0.7,
+		BodyForce:     [3]float64{1e-5, 0, 0},
+		StepsPerTrial: 2, Repetitions: 1,
+		SheetSpec: func() *fiber.Sheet {
+			return fiber.NewSheet(fiber.Params{
+				NumFibers: 6, NodesPerFiber: 6, Width: 5, Height: 5,
+				Origin: fiber.Vec3{5, 5, 5}, Ks: 0.05, Kb: 0.001,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trials) != 4 { // k ∈ {2,4,8,16}
+		t.Fatalf("%d trials, want 4", len(r.Trials))
+	}
+	if r.Best.CubeSize != r.Trials[0].CubeSize {
+		t.Fatal("Best is not the fastest trial")
+	}
+	for i := 1; i < len(r.Trials); i++ {
+		if r.Trials[i].PerStep < r.Trials[i-1].PerStep {
+			t.Fatal("trials not sorted fastest-first")
+		}
+	}
+	if !strings.Contains(r.Render(), "best cube size") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTuneRejectsImpossibleGrid(t *testing.T) {
+	if _, err := Tune(Options{NX: 7, NY: 5, NZ: 3, Tau: 0.7}); err == nil {
+		t.Fatal("grid with no common divisor accepted")
+	}
+}
+
+func TestTuneCustomCandidates(t *testing.T) {
+	r, err := Tune(Options{
+		NX: 16, NY: 16, NZ: 16, Tau: 0.7,
+		Candidates: []int{4, 8}, StepsPerTrial: 1, Repetitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trials) != 2 {
+		t.Fatalf("%d trials, want 2", len(r.Trials))
+	}
+}
+
+func TestTuneInvalidCandidateErrors(t *testing.T) {
+	if _, err := Tune(Options{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Candidates: []int{5}}); err == nil {
+		t.Fatal("indivisible candidate accepted")
+	}
+}

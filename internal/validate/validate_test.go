@@ -1,0 +1,109 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"lbmib/internal/fiber"
+	"lbmib/internal/grid"
+)
+
+func TestGridsIdentical(t *testing.T) {
+	a := grid.New(4, 4, 4)
+	b := a.Clone()
+	d, err := Grids(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxAbs != 0 || d.RelL2 != 0 {
+		t.Fatalf("identical grids diff: %v", d)
+	}
+	if !d.Within(0) {
+		t.Fatal("zero diff not within zero tolerance")
+	}
+}
+
+func TestGridsDetectDifference(t *testing.T) {
+	a := grid.New(4, 4, 4)
+	b := a.Clone()
+	b.At(1, 2, 3).Vel[0] = 0.25
+	d, err := Grids(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxAbs != 0.25 {
+		t.Fatalf("MaxAbs = %g, want 0.25", d.MaxAbs)
+	}
+	if !strings.Contains(d.Where, "Vel") {
+		t.Fatalf("Where = %q, want a Vel location", d.Where)
+	}
+	if d.Within(1e-3) {
+		t.Fatal("0.25 diff reported within 1e-3")
+	}
+	if !d.Within(0.3) {
+		t.Fatal("0.25 diff not within 0.3")
+	}
+}
+
+func TestGridsShapeMismatch(t *testing.T) {
+	if _, err := Grids(grid.New(4, 4, 4), grid.New(4, 4, 5)); err == nil {
+		t.Fatal("shape mismatch not reported")
+	}
+}
+
+func TestGridsCountsAllFields(t *testing.T) {
+	a := grid.New(2, 2, 2)
+	d, _ := Grids(a, a.Clone())
+	// Per node: 19 DF + 3 Vel + 3 Force + 1 Rho = 26.
+	if want := 8 * 26; d.Count != want {
+		t.Fatalf("Count = %d, want %d", d.Count, want)
+	}
+}
+
+func newTestSheet() *fiber.Sheet {
+	return fiber.NewSheet(fiber.Params{NumFibers: 3, NodesPerFiber: 4, Width: 2, Height: 3, Ks: 1, Kb: 1})
+}
+
+func TestSheetsIdentical(t *testing.T) {
+	a := newTestSheet()
+	d, err := Sheets(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxAbs != 0 {
+		t.Fatalf("identical sheets diff %v", d)
+	}
+}
+
+func TestSheetsDetectPositionDrift(t *testing.T) {
+	a := newTestSheet()
+	b := a.Clone()
+	b.X[5][2] += 1e-6
+	d, err := Sheets(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxAbs < 1e-7 || d.MaxAbs > 1e-5 {
+		t.Fatalf("MaxAbs = %g, want ~1e-6", d.MaxAbs)
+	}
+	if !strings.Contains(d.Where, "fiber node 5") {
+		t.Fatalf("Where = %q", d.Where)
+	}
+}
+
+func TestSheetsShapeMismatch(t *testing.T) {
+	b := fiber.NewSheet(fiber.Params{NumFibers: 2, NodesPerFiber: 4, Width: 1, Height: 3, Ks: 1, Kb: 1})
+	if _, err := Sheets(newTestSheet(), b); err == nil {
+		t.Fatal("sheet shape mismatch not reported")
+	}
+}
+
+func TestDiffString(t *testing.T) {
+	d := Diff{MaxAbs: 1e-3, RelL2: 1e-6, Count: 10, Where: "node 3 DF"}
+	s := d.String()
+	for _, want := range []string{"node 3 DF", "10"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Diff.String() = %q missing %q", s, want)
+		}
+	}
+}

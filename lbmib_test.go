@@ -1,0 +1,253 @@
+package lbmib
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sheetCfg() *SheetConfig {
+	return &SheetConfig{
+		NumFibers: 8, NodesPerFiber: 8, Width: 7, Height: 7,
+		Origin: [3]float64{6, 4.3, 4.6}, Ks: 0.05, Kb: 0.001,
+	}
+}
+
+func baseCfg(kind SolverKind) Config {
+	return Config{
+		NX: 16, NY: 16, NZ: 16, Tau: 0.7,
+		BodyForce: [3]float64{3e-5, 0, 0},
+		Sheet:     sheetCfg(),
+		Solver:    kind,
+		Threads:   3,
+		CubeSize:  4,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{NX: 0, NY: 8, NZ: 8},
+		{NX: 8, NY: 8, NZ: 8, Tau: 0.4},
+		{NX: 8, NY: 8, NZ: 8, Solver: SolverKind(9)},
+		{NX: 8, NY: 8, NZ: 8, Sheet: &SheetConfig{NumFibers: 0, NodesPerFiber: 3}},
+		{NX: 10, NY: 8, NZ: 8, Solver: CubeBased, CubeSize: 4}, // indivisible
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Fatalf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestViscosityDerivesTau(t *testing.T) {
+	s, err := New(Config{NX: 4, NY: 4, NZ: 4, Viscosity: 1.0 / 6.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Config().Tau; math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("tau from viscosity = %g, want 1", got)
+	}
+}
+
+func TestDefaultTau(t *testing.T) {
+	s, err := New(Config{NX: 4, NY: 4, NZ: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Config().Tau != 0.6 {
+		t.Fatalf("default tau = %g", s.Config().Tau)
+	}
+}
+
+// The facade's three engines must produce the same physics.
+func TestEnginesAgree(t *testing.T) {
+	const steps = 10
+	ref, err := New(baseCfg(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	ref.Run(steps)
+	refC, _ := ref.SheetCentroid()
+
+	for _, kind := range []SolverKind{OpenMP, CubeBased, TaskScheduled} {
+		s, err := New(baseCfg(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(steps)
+		c, _ := s.SheetCentroid()
+		for d := 0; d < 3; d++ {
+			if math.Abs(c[d]-refC[d]) > 1e-9 {
+				t.Fatalf("%v centroid[%d] = %.15g, sequential %.15g", kind, d, c[d], refC[d])
+			}
+		}
+		v := s.FluidVelocity(8, 8, 8)
+		rv := ref.FluidVelocity(8, 8, 8)
+		for d := 0; d < 3; d++ {
+			if math.Abs(v[d]-rv[d]) > 1e-9 {
+				t.Fatalf("%v velocity disagrees: %v vs %v", kind, v, rv)
+			}
+		}
+		s.Close()
+	}
+}
+
+func TestStepAndRunCount(t *testing.T) {
+	s, err := New(baseCfg(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Step()
+	s.Run(4)
+	if s.StepCount() != 5 {
+		t.Fatalf("StepCount = %d", s.StepCount())
+	}
+}
+
+func TestMassConservedThroughFacade(t *testing.T) {
+	s, err := New(baseCfg(CubeBased))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m0 := s.TotalMass()
+	s.Run(15)
+	if m1 := s.TotalMass(); math.Abs(m1-m0) > 1e-9*m0 {
+		t.Fatalf("mass drifted %g -> %g", m0, m1)
+	}
+}
+
+func TestSheetAccessors(t *testing.T) {
+	s, err := New(baseCfg(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.HasSheet() {
+		t.Fatal("HasSheet = false")
+	}
+	if n := len(s.SheetPositions()); n != 64 {
+		t.Fatalf("%d positions, want 64", n)
+	}
+	if n := len(s.SheetVelocities()); n != 64 {
+		t.Fatalf("%d velocities, want 64", n)
+	}
+	if _, err := s.SheetEnergy(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the returned copy must not affect the simulation.
+	pos := s.SheetPositions()
+	pos[0][0] = 999
+	if s.SheetPositions()[0][0] == 999 {
+		t.Fatal("SheetPositions returned shared storage")
+	}
+}
+
+func TestNoSheetAccessors(t *testing.T) {
+	s, err := New(Config{NX: 4, NY: 4, NZ: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.HasSheet() || s.SheetPositions() != nil {
+		t.Fatal("sheet accessors must be empty without a sheet")
+	}
+	if _, err := s.SheetCentroid(); err == nil {
+		t.Fatal("SheetCentroid without sheet must error")
+	}
+	if err := s.WriteSheetCSV(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteSheetCSV without sheet must error")
+	}
+}
+
+func TestNoSlipBoundaries(t *testing.T) {
+	s, err := New(Config{
+		NX: 6, NY: 6, NZ: 8, Tau: 0.8, BoundaryZ: NoSlip,
+		BodyForce: [3]float64{1e-4, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(200)
+	// Channel flow: the wall-adjacent velocity is far below the center.
+	wall := s.FluidVelocity(3, 3, 0)[0]
+	center := s.FluidVelocity(3, 3, 4)[0]
+	if !(center > wall && wall > 0) {
+		t.Fatalf("no Poiseuille profile: wall %g center %g", wall, center)
+	}
+}
+
+func TestSnapshotWriters(t *testing.T) {
+	s, err := New(baseCfg(CubeBased))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(2)
+	var sheetCSV, sheetVTK, fluidVTK, slice bytes.Buffer
+	if err := s.WriteSheetCSV(&sheetCSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteSheetVTK(&sheetVTK); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFluidVTK(&fluidVTK); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFluidSliceCSV(&slice, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sheetCSV.String(), "fiber,node") ||
+		!strings.Contains(sheetVTK.String(), "POLYDATA") ||
+		!strings.Contains(fluidVTK.String(), "STRUCTURED_POINTS") ||
+		!strings.Contains(slice.String(), "ux") {
+		t.Fatal("snapshot writers produced unexpected output")
+	}
+}
+
+func TestParseSolverKind(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want SolverKind
+	}{{"seq", Sequential}, {"sequential", Sequential}, {"omp", OpenMP}, {"openmp", OpenMP},
+		{"cube", CubeBased}, {"cube-based", CubeBased}, {"taskflow", TaskScheduled}} {
+		got, err := ParseSolverKind(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseSolverKind(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseSolverKind("mpi"); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+}
+
+func TestSolverKindString(t *testing.T) {
+	if Sequential.String() != "sequential" || OpenMP.String() != "omp" ||
+		CubeBased.String() != "cube" || TaskScheduled.String() != "taskflow" {
+		t.Fatal("SolverKind names wrong")
+	}
+	if SolverKind(7).String() == "" {
+		t.Fatal("unknown kind must stringify")
+	}
+}
+
+func TestMaxVelocityStability(t *testing.T) {
+	s, err := New(baseCfg(OpenMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(30)
+	if v := s.MaxVelocity(); v <= 0 || v > 0.2 {
+		t.Fatalf("MaxVelocity = %g, want small positive", v)
+	}
+	if rho := s.FluidDensity(8, 8, 8); math.Abs(rho-1) > 0.1 {
+		t.Fatalf("density = %g, want ≈1", rho)
+	}
+}
