@@ -95,8 +95,17 @@ func BenchmarkFig8WeakScaling(b *testing.B) {
 	b.ReportMetric(ratio, "omp/cube-max")
 }
 
+// reportMLUPS converts a finished per-step benchmark over a 32³ grid
+// into million lattice-node updates per second.
+func reportMLUPS(b *testing.B) {
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(32*32*32)*float64(b.N)/secs/1e6, "MLUPS")
+	}
+}
+
 // BenchmarkSolverStep times one full LBM-IB step per engine on identical
-// inputs — the real-code counterpart of the modeled comparisons.
+// inputs — the real-code counterpart of the modeled comparisons — and
+// reports each engine's throughput in MLUPS.
 func BenchmarkSolverStep(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) {
 		s := core.NewSolver(core.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7,
@@ -105,6 +114,7 @@ func BenchmarkSolverStep(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s.Step()
 		}
+		reportMLUPS(b)
 	})
 	b.Run("omp-4thr", func(b *testing.B) {
 		s := omp.NewSolver(omp.Config{Config: core.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7,
@@ -114,6 +124,7 @@ func BenchmarkSolverStep(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s.Step()
 		}
+		reportMLUPS(b)
 	})
 	b.Run("cube-4thr-k8", func(b *testing.B) {
 		s, err := cubesolver.NewSolver(cubesolver.Config{NX: 32, NY: 32, NZ: 32,
@@ -127,6 +138,7 @@ func BenchmarkSolverStep(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s.Step()
 		}
+		reportMLUPS(b)
 	})
 	b.Run("taskflow-4wrk-k8", func(b *testing.B) {
 		s, err := taskflow.NewSolver(taskflow.Config{NX: 32, NY: 32, NZ: 32,
@@ -139,6 +151,7 @@ func BenchmarkSolverStep(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s.Step()
 		}
+		reportMLUPS(b)
 	})
 	b.Run("soa-sequential", func(b *testing.B) {
 		s, err := soa.NewSolver(soa.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7,
@@ -150,6 +163,7 @@ func BenchmarkSolverStep(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			s.Step()
 		}
+		reportMLUPS(b)
 	})
 }
 

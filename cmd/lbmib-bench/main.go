@@ -14,18 +14,31 @@ import (
 	"time"
 
 	"lbmib/internal/experiments"
+	"lbmib/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmib-bench: ")
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, ablations or all")
-		paper = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
-		steps = flag.Int("steps", 0, "override time steps for measured experiments")
+		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, ablations or all")
+		paper       = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
+		steps       = flag.Int("steps", 0, "override time steps for measured experiments")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and pprof on this address while benchmarks run")
 	)
 	flag.Parse()
 	opt := experiments.Options{Paper: *paper, Steps: *steps}
+
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		e, err := telemetry.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer e.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", e.Addr())
+	}
 
 	type runner struct {
 		name string
@@ -48,6 +61,10 @@ func main() {
 		}},
 		{"fig8", func() (string, error) {
 			r, err := experiments.Fig8(opt)
+			return r.Render(), err
+		}},
+		{"mlups", func() (string, error) {
+			r, err := experiments.MLUPS(opt, reg)
 			return r.Render(), err
 		}},
 		{"ablations", func() (string, error) {

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"lbmib/internal/cluster"
 	"lbmib/internal/core"
 	"lbmib/internal/fiber"
+	"lbmib/internal/telemetry"
 	"lbmib/internal/validate"
 )
 
@@ -25,15 +27,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmib-cluster: ")
 	var (
-		nx     = flag.Int("nx", 64, "fluid nodes along x (must divide by ranks)")
-		ny     = flag.Int("ny", 32, "fluid nodes along y")
-		nz     = flag.Int("nz", 32, "fluid nodes along z")
-		ranks  = flag.Int("ranks", 4, "message-passing ranks (x-slabs)")
-		steps  = flag.Int("steps", 50, "time steps")
-		tau    = flag.Float64("tau", 0.7, "BGK relaxation time")
-		force  = flag.Float64("force", 2e-5, "driving force along x")
-		sheetN = flag.Int("sheet", 16, "fiber sheet edge (0 for fluid-only)")
-		verify = flag.Bool("verify", false, "compare against the sequential solver")
+		nx       = flag.Int("nx", 64, "fluid nodes along x (must divide by ranks)")
+		ny       = flag.Int("ny", 32, "fluid nodes along y")
+		nz       = flag.Int("nz", 32, "fluid nodes along z")
+		ranks    = flag.Int("ranks", 4, "message-passing ranks (x-slabs)")
+		steps    = flag.Int("steps", 50, "time steps")
+		tau      = flag.Float64("tau", 0.7, "BGK relaxation time")
+		force    = flag.Float64("force", 2e-5, "driving force along x")
+		sheetN   = flag.Int("sheet", 16, "fiber sheet edge (0 for fluid-only)")
+		verify   = flag.Bool("verify", false, "compare against the sequential solver")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event timeline (one track per rank) to this file")
 	)
 	flag.Parse()
 
@@ -55,6 +58,11 @@ func main() {
 	if sh := mkSheet(); sh != nil {
 		cfg.Sheets = []*fiber.Sheet{sh}
 	}
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+		cfg.Observer = tracer.ClusterObserver()
+	}
 
 	t0 := time.Now()
 	res, err := cluster.Run(cfg)
@@ -69,6 +77,20 @@ func main() {
 		float64(res.FloatsSent)*8/1024/float64(*steps)/float64(*ranks))
 	fmt.Printf("max fluid speed %.5f, total mass %.3f\n",
 		res.Fluid.MaxVelocity(), res.Fluid.TotalMass())
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
 
 	if *verify {
 		ref := core.NewSolver(core.Config{

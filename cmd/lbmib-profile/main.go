@@ -9,12 +9,33 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"lbmib/internal/core"
 	"lbmib/internal/fiber"
 	"lbmib/internal/perfmon"
+	"lbmib/internal/telemetry"
 )
+
+// fanObserver forwards each kernel completion to every sink: the
+// gprof-style profile and, when enabled, the Chrome tracer and the
+// per-kernel latency histograms.
+type fanObserver struct {
+	prof   *perfmon.KernelProfile
+	tracer *telemetry.Tracer
+	hist   [core.NumKernels + 1]*telemetry.Histogram
+}
+
+func (f *fanObserver) KernelDone(step int, k core.Kernel, d time.Duration) {
+	f.prof.KernelDone(step, k, d)
+	if f.tracer != nil {
+		f.tracer.KernelDone(step, k, d)
+	}
+	if k >= 1 && k <= core.NumKernels && f.hist[k] != nil {
+		f.hist[k].Observe(d.Seconds())
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -26,6 +47,9 @@ func main() {
 		steps     = flag.Int("steps", 25, "time steps to profile")
 		tau       = flag.Float64("tau", 0.7, "BGK relaxation time")
 		sheetDims = flag.String("sheet", "26x26", "fiber sheet as FIBERSxNODES; empty for fluid-only")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and pprof on this address while profiling")
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event timeline of the kernels to this file")
 	)
 	flag.Parse()
 
@@ -47,8 +71,26 @@ func main() {
 		NX: *nx, NY: *ny, NZ: *nz, Tau: *tau,
 		BodyForce: [3]float64{2e-5, 0, 0}, Sheet: sheet,
 	})
-	prof := &perfmon.KernelProfile{}
-	s.Observer = prof
+	obs := &fanObserver{prof: &perfmon.KernelProfile{}}
+	if *traceOut != "" {
+		obs.tracer = telemetry.NewTracer()
+	}
+	if *metricsAddr != "" {
+		reg := telemetry.NewRegistry()
+		buckets := telemetry.ExpBuckets(1e-5, 2, 18)
+		for k := core.Kernel(1); k <= core.NumKernels; k++ {
+			obs.hist[k] = reg.Histogram("lbmib_kernel_seconds",
+				"Wall-clock time per kernel execution (Algorithm 1).",
+				buckets, telemetry.L("kernel", k.String()))
+		}
+		e, err := telemetry.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer e.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", e.Addr())
+	}
+	s.Observer = obs
 
 	fmt.Printf("profiling %d steps of %d×%d×%d", *steps, *nx, *ny, *nz)
 	if sheet != nil {
@@ -58,5 +100,19 @@ func main() {
 	t0 := time.Now()
 	s.Run(*steps)
 	fmt.Printf("wall time %v\n\n", time.Since(t0).Round(time.Millisecond))
-	fmt.Print(prof.Report())
+	fmt.Print(obs.prof.Report())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.tracer.Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lbmib"
+	"lbmib/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +44,11 @@ func main() {
 		outDir     = flag.String("out", "", "directory for CSV/VTK snapshots")
 		snapEvery  = flag.Int("snap-every", 0, "write snapshots every N steps (0: only final)")
 		report     = flag.Int("report-every", 20, "print diagnostics every N steps")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :9100)")
+		traceOut    = flag.String("trace", "", "write a Chrome trace-event timeline to this file (open in Perfetto)")
+		jsonlOut    = flag.String("jsonl", "", "append one JSON line per step (step, mass, maxVel, kernelMillis, mlups)")
+		watch       = flag.Bool("watchdog", false, "check physics health every step; stop at the first unstable step")
 	)
 	flag.Parse()
 
@@ -60,6 +66,29 @@ func main() {
 	}
 	if *noSlipZ {
 		cfg.BoundaryZ = lbmib.NoSlip
+	}
+	var (
+		reg   *telemetry.Registry
+		wd    *telemetry.Watchdog
+		jsonl *os.File
+	)
+	if *metricsAddr != "" || *traceOut != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Telemetry = reg
+	}
+	cfg.TraceFile = *traceOut
+	if *watch {
+		wd = telemetry.NewWatchdog(telemetry.WatchdogConfig{Registry: reg})
+		cfg.Watchdog = wd
+	}
+	if *jsonlOut != "" {
+		f, err := os.Create(*jsonlOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jsonl = f
+		defer jsonl.Close()
+		cfg.LogWriter = jsonl
 	}
 	if *sheetDims != "" {
 		var nf, nn int
@@ -84,7 +113,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sim.Close()
+	defer func() {
+		if err := sim.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if *traceOut != "" {
+			fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+		}
+	}()
+
+	if *metricsAddr != "" {
+		exp, err := telemetry.Serve(*metricsAddr, reg, wd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer exp.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", exp.Addr())
+	}
 
 	fmt.Printf("engine=%s grid=%d×%d×%d tau=%.3g threads=%d steps=%d\n",
 		kind, *nx, *ny, *nz, sim.Config().Tau, *threads, *steps)
@@ -100,6 +145,9 @@ func main() {
 			batch = *steps - done
 		}
 		sim.Run(batch)
+		if err := sim.Health(); err != nil {
+			log.Fatalf("watchdog: %v", err)
+		}
 		done += batch
 		line := fmt.Sprintf("step %5d  maxU=%.4g  mass=%.6f", done, sim.MaxVelocity(), sim.TotalMass())
 		if sim.HasSheet() {
@@ -115,8 +163,13 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("completed %d steps in %v (%.3f ms/step)\n",
-		*steps, elapsed.Round(time.Millisecond), float64(elapsed.Milliseconds())/float64(*steps))
+	mlups := float64(*nx) * float64(*ny) * float64(*nz) * float64(*steps) / elapsed.Seconds() / 1e6
+	if reg != nil {
+		reg.Gauge("lbmib_mlups", "Million lattice-node updates per second over the last Run batch.").Set(mlups)
+	}
+	fmt.Printf("completed %d steps in %v (%.3f ms/step, %.2f MLUPS)\n",
+		*steps, elapsed.Round(time.Millisecond),
+		float64(elapsed.Milliseconds())/float64(*steps), mlups)
 
 	if *outDir != "" {
 		if err := writeSnapshots(sim, *outDir, *steps); err != nil {

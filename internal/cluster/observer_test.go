@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lbmib/internal/fiber"
+)
+
+// recordingObserver counts callbacks per (rank, phase) and sums the
+// reported durations; every rank goroutine reports concurrently.
+type recordingObserver struct {
+	mu    sync.Mutex
+	calls map[int]map[Phase]int
+	total map[int]map[Phase]time.Duration
+	steps map[int]bool
+}
+
+func newRecordingObserver() *recordingObserver {
+	return &recordingObserver{
+		calls: map[int]map[Phase]int{},
+		total: map[int]map[Phase]time.Duration{},
+		steps: map[int]bool{},
+	}
+}
+
+func (r *recordingObserver) PhaseDone(step, rank int, p Phase, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.calls[rank] == nil {
+		r.calls[rank] = map[Phase]int{}
+		r.total[rank] = map[Phase]time.Duration{}
+	}
+	r.calls[rank][p]++
+	r.total[rank][p] += d
+	r.steps[step] = true
+}
+
+// TestObserverReportsEveryRankAndPhase runs a 4-rank simulation with an
+// immersed sheet and asserts a duration is reported for every rank, for
+// every phase, on every step.
+func TestObserverReportsEveryRankAndPhase(t *testing.T) {
+	const (
+		ranks = 4
+		steps = 5
+	)
+	obs := newRecordingObserver()
+	sheet := fiber.NewSheet(fiber.Params{
+		NumFibers: 6, NodesPerFiber: 6, Width: 5, Height: 5,
+		Origin: fiber.Vec3{6.3, 5.2, 5.7}, Ks: 0.05, Kb: 0.001,
+	})
+	if _, err := Run(Config{
+		NX: 32, NY: 16, NZ: 16, Ranks: ranks, Steps: steps, Tau: 0.7,
+		BodyForce: [3]float64{3e-5, 0, 0},
+		Sheets:    []*fiber.Sheet{sheet},
+		Observer:  obs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(obs.calls) != ranks {
+		t.Fatalf("observed %d ranks, want %d", len(obs.calls), ranks)
+	}
+	for rank := 0; rank < ranks; rank++ {
+		for p := Phase(1); p <= NumPhases; p++ {
+			if got := obs.calls[rank][p]; got != steps {
+				t.Errorf("rank %d phase %s: %d reports, want %d", rank, p, got, steps)
+			}
+			if obs.total[rank][p] <= 0 {
+				t.Errorf("rank %d phase %s: non-positive total duration", rank, p)
+			}
+		}
+	}
+	for step := 0; step < steps; step++ {
+		if !obs.steps[step] {
+			t.Errorf("no report carried step %d", step)
+		}
+	}
+}
+
+// TestObserverNilIsAllowed ensures the instrumented time step still runs
+// without an observer (the zero-overhead default path).
+func TestObserverNilIsAllowed(t *testing.T) {
+	if _, err := Run(Config{
+		NX: 16, NY: 8, NZ: 8, Ranks: 2, Steps: 2, Tau: 0.7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := map[Phase]string{
+		PhaseFiberForce:     "fiber_force_spread",
+		PhaseCollideStream:  "collide_stream",
+		PhaseHaloExchange:   "halo_exchange",
+		PhaseUpdateVelocity: "update_velocity",
+		PhaseMoveFibers:     "move_fibers",
+		PhaseCopy:           "copy_distribution",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), name)
+		}
+	}
+	if Phase(0).String() != "unknown_phase" || Phase(99).String() != "unknown_phase" {
+		t.Error("out-of-range phases not reported as unknown")
+	}
+}

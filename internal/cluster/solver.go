@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lbmib/internal/core"
 	"lbmib/internal/fiber"
@@ -11,6 +12,45 @@ import (
 	"lbmib/internal/ibm"
 	"lbmib/internal/lattice"
 )
+
+// Phase identifies one section of the distributed time step, for
+// per-rank timing — the cluster counterpart of cubesolver.Phase. The
+// halo exchange and the fiber-velocity reduction are where ranks wait on
+// each other, so they get their own phases.
+type Phase int
+
+// The six sections of the distributed time step.
+const (
+	PhaseFiberForce     Phase = iota + 1 // kernels 1–4 on the replica + owned planes
+	PhaseCollideStream                   // kernels 5–6 on owned planes
+	PhaseHaloExchange                    // ghost-plane exchange with the ring neighbors
+	PhaseUpdateVelocity                  // kernel 7 on owned planes
+	PhaseMoveFibers                      // kernel 8: interpolation + ordered reduction + advection
+	PhaseCopy                            // kernel 9 on owned planes
+)
+
+// NumPhases is the number of timed sections per time step.
+const NumPhases = 6
+
+var phaseNames = [NumPhases + 1]string{
+	"", "fiber_force_spread", "collide_stream", "halo_exchange",
+	"update_velocity", "move_fibers", "copy_distribution",
+}
+
+// String names the phase.
+func (p Phase) String() string {
+	if p < 1 || p > NumPhases {
+		return "unknown_phase"
+	}
+	return phaseNames[p]
+}
+
+// PhaseObserver receives the wall-clock duration each rank spent in each
+// section of the time step; implementations must be safe for concurrent
+// use, since every rank goroutine reports into the same observer.
+type PhaseObserver interface {
+	PhaseDone(step, rank int, p Phase, d time.Duration)
+}
 
 // Config assembles a distributed LBM-IB problem. The fluid grid is
 // decomposed into contiguous x-slabs, one per rank; NX must be divisible
@@ -27,6 +67,8 @@ type Config struct {
 	// Sheets are templates for the immersed structure; each rank works
 	// on its own replica and the replicas stay in lockstep.
 	Sheets []*fiber.Sheet
+	// Observer, when non-nil, receives per-rank per-phase durations.
+	Observer PhaseObserver
 }
 
 // Result carries the gathered final state and communication statistics.
@@ -182,67 +224,85 @@ func wrapYZ(i, n int) int {
 	return i
 }
 
-// timeStep runs the nine kernels of Algorithm 1 in distributed form.
+// timeStep runs the nine kernels of Algorithm 1 in distributed form,
+// reporting each section's duration to the configured PhaseObserver.
 func (rs *rankState) timeStep(step int) {
-	// Kernels 1–3 on the replica (identical on every rank).
-	for _, sh := range rs.sheets {
-		sh.ComputeBendingForce(0, sh.NumNodes())
-		sh.ComputeStretchingForce(0, sh.NumNodes())
-		sh.ComputeElasticForce(0, sh.NumNodes())
+	phase := func(ph Phase, fn func()) {
+		if rs.cfg.Observer == nil {
+			fn()
+			return
+		}
+		t0 := time.Now()
+		fn()
+		rs.cfg.Observer.PhaseDone(step, rs.comm.Rank(), ph, time.Since(t0))
 	}
-	// Kernel 4: reset owned planes to the body force, then spread with
-	// the ownership filter.
 	g := rs.local
-	for p := 1; p <= rs.chunk; p++ {
-		for y := 0; y < rs.cfg.NY; y++ {
-			for z := 0; z < rs.cfg.NZ; z++ {
-				g.Nodes[g.Idx(p, y, z)].Force = rs.cfg.BodyForce
+	phase(PhaseFiberForce, func() {
+		// Kernels 1–3 on the replica (identical on every rank).
+		for _, sh := range rs.sheets {
+			sh.ComputeBendingForce(0, sh.NumNodes())
+			sh.ComputeStretchingForce(0, sh.NumNodes())
+			sh.ComputeElasticForce(0, sh.NumNodes())
+		}
+		// Kernel 4: reset owned planes to the body force, then spread with
+		// the ownership filter.
+		for p := 1; p <= rs.chunk; p++ {
+			for y := 0; y < rs.cfg.NY; y++ {
+				for z := 0; z < rs.cfg.NZ; z++ {
+					g.Nodes[g.Idx(p, y, z)].Force = rs.cfg.BodyForce
+				}
 			}
 		}
-	}
-	acc := localForce{rs}
-	for _, sh := range rs.sheets {
-		area := sh.AreaElement()
-		for i := 0; i < sh.NumNodes(); i++ {
-			ibm.Spread(acc, sh.X[i], sh.Force[i], area)
-		}
-	}
-	// Kernels 5–6 on owned planes.
-	for p := 1; p <= rs.chunk; p++ {
-		for y := 0; y < rs.cfg.NY; y++ {
-			for z := 0; z < rs.cfg.NZ; z++ {
-				core.CollideNode(&g.Nodes[g.Idx(p, y, z)], rs.cfg.Tau)
+		acc := localForce{rs}
+		for _, sh := range rs.sheets {
+			area := sh.AreaElement()
+			for i := 0; i < sh.NumNodes(); i++ {
+				ibm.Spread(acc, sh.X[i], sh.Force[i], area)
 			}
 		}
-	}
-	for p := 1; p <= rs.chunk; p++ {
-		for y := 0; y < rs.cfg.NY; y++ {
-			for z := 0; z < rs.cfg.NZ; z++ {
-				rs.streamNode(p, y, z)
+	})
+	phase(PhaseCollideStream, func() {
+		// Kernels 5–6 on owned planes.
+		for p := 1; p <= rs.chunk; p++ {
+			for y := 0; y < rs.cfg.NY; y++ {
+				for z := 0; z < rs.cfg.NZ; z++ {
+					core.CollideNode(&g.Nodes[g.Idx(p, y, z)], rs.cfg.Tau)
+				}
 			}
 		}
-	}
-	rs.exchangeHalo(step)
-	// Kernel 7 on owned planes.
-	for p := 1; p <= rs.chunk; p++ {
-		for y := 0; y < rs.cfg.NY; y++ {
-			for z := 0; z < rs.cfg.NZ; z++ {
-				core.UpdateVelocityNode(&g.Nodes[g.Idx(p, y, z)])
+		for p := 1; p <= rs.chunk; p++ {
+			for y := 0; y < rs.cfg.NY; y++ {
+				for z := 0; z < rs.cfg.NZ; z++ {
+					rs.streamNode(p, y, z)
+				}
 			}
 		}
-	}
+	})
+	phase(PhaseHaloExchange, func() { rs.exchangeHalo(step) })
+	phase(PhaseUpdateVelocity, func() {
+		// Kernel 7 on owned planes.
+		for p := 1; p <= rs.chunk; p++ {
+			for y := 0; y < rs.cfg.NY; y++ {
+				for z := 0; z < rs.cfg.NZ; z++ {
+					core.UpdateVelocityNode(&g.Nodes[g.Idx(p, y, z)])
+				}
+			}
+		}
+	})
 	// Kernel 8: partial interpolation over owned planes, ordered global
 	// reduction, identical advection on every replica.
-	rs.moveFibers(step)
-	// Kernel 9 on owned planes.
-	for p := 1; p <= rs.chunk; p++ {
-		for y := 0; y < rs.cfg.NY; y++ {
-			for z := 0; z < rs.cfg.NZ; z++ {
-				n := &g.Nodes[g.Idx(p, y, z)]
-				n.DF = n.DFNew
+	phase(PhaseMoveFibers, func() { rs.moveFibers(step) })
+	phase(PhaseCopy, func() {
+		// Kernel 9 on owned planes.
+		for p := 1; p <= rs.chunk; p++ {
+			for y := 0; y < rs.cfg.NY; y++ {
+				for z := 0; z < rs.cfg.NZ; z++ {
+					n := &g.Nodes[g.Idx(p, y, z)]
+					n.DF = n.DFNew
+				}
 			}
 		}
-	}
+	})
 }
 
 // streamNode pushes one owned node's post-collision distribution; pushes

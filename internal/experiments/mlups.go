@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/cubesolver"
+	"lbmib/internal/fiber"
+	"lbmib/internal/omp"
+	"lbmib/internal/par"
+	"lbmib/internal/taskflow"
+	"lbmib/internal/telemetry"
+)
+
+// MLUPSRow is one engine's measured throughput.
+type MLUPSRow struct {
+	Engine  string
+	Threads int
+	Elapsed time.Duration
+	MLUPS   float64
+}
+
+// MLUPSResult compares the four engines' throughput in million
+// lattice-node updates per second on the same problem.
+type MLUPSResult struct {
+	NX, NY, NZ int
+	FiberNodes int
+	Steps      int
+	Rows       []MLUPSRow
+}
+
+// mlupsGrid returns the throughput-comparison problem size.
+func (o Options) mlupsGrid() (nx, ny, nz, steps, threads int) {
+	if o.Paper {
+		nx, ny, nz, steps, threads = 124, 64, 64, 100, 8
+	} else {
+		nx, ny, nz, steps, threads = 32, 32, 32, 20, 4
+	}
+	if o.Steps > 0 {
+		steps = o.Steps
+	}
+	return
+}
+
+// MLUPS measures every engine's throughput on the same immersed-sheet
+// problem. When reg is non-nil, each engine's result is published as the
+// gauge lbmib_bench_mlups{engine=...}.
+func MLUPS(opt Options, reg *telemetry.Registry) (MLUPSResult, error) {
+	nx, ny, nz, steps, threads := opt.mlupsGrid()
+	sheet := func() *fiber.Sheet { return opt.sheet52([3]int{nx, ny, nz}) }
+	nodes := float64(nx) * float64(ny) * float64(nz)
+
+	res := MLUPSResult{NX: nx, NY: ny, NZ: nz, FiberNodes: sheet().NumNodes(), Steps: steps}
+	measure := func(name string, nthreads int, run func() error) error {
+		t0 := time.Now()
+		if err := run(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		elapsed := time.Since(t0)
+		mlups := nodes * float64(steps) / elapsed.Seconds() / 1e6
+		res.Rows = append(res.Rows, MLUPSRow{Engine: name, Threads: nthreads, Elapsed: elapsed, MLUPS: mlups})
+		if reg != nil {
+			reg.Gauge("lbmib_bench_mlups", "Throughput per engine (million lattice updates per second).",
+				telemetry.L("engine", name)).Set(mlups)
+		}
+		return nil
+	}
+
+	coreCfg := core.Config{
+		NX: nx, NY: ny, NZ: nz, Tau: 0.7,
+		BodyForce: [3]float64{2e-5, 0, 0},
+	}
+
+	if err := measure("sequential", 1, func() error {
+		cfg := coreCfg
+		cfg.Sheet = sheet()
+		core.NewSolver(cfg).Run(steps)
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	if err := measure("omp", threads, func() error {
+		cfg := coreCfg
+		cfg.Sheet = sheet()
+		s := omp.NewSolver(omp.Config{Config: cfg, Threads: threads})
+		defer s.Close()
+		s.Run(steps)
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	if err := measure("cube", threads, func() error {
+		s, err := cubesolver.NewSolver(cubesolver.Config{
+			NX: nx, NY: ny, NZ: nz, CubeSize: 4, Threads: threads, Tau: 0.7,
+			BodyForce: [3]float64{2e-5, 0, 0},
+			Sheets:    []*fiber.Sheet{sheet()},
+			Dist:      par.Block,
+		})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		s.Run(steps)
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	if err := measure("taskflow", threads, func() error {
+		s, err := taskflow.NewSolver(taskflow.Config{
+			NX: nx, NY: ny, NZ: nz, CubeSize: 4, Workers: threads, Tau: 0.7,
+			BodyForce: [3]float64{2e-5, 0, 0},
+			Sheets:    []*fiber.Sheet{sheet()},
+		})
+		if err != nil {
+			return err
+		}
+		s.Run(steps)
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Render formats the throughput comparison.
+func (r MLUPSResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Engine throughput (%d×%d×%d fluid, %d fiber nodes, %d steps)\n",
+		r.NX, r.NY, r.NZ, r.FiberNodes, r.Steps)
+	b.WriteString(header(fmt.Sprintf("%-12s", "Engine"), "Threads", "  Elapsed", "   MLUPS"))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s  %7d  %9s  %7.2f\n",
+			row.Engine, row.Threads, fmtDuration(row.Elapsed), row.MLUPS)
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Exporter serves the observability endpoints of a running simulation on
+// an opt-in port:
+//
+//	/metrics       Prometheus text exposition of the Registry
+//	/metrics.json  the same snapshot as JSON
+//	/healthz       200 while the Watchdog is healthy (or absent), 503
+//	               with the HealthError once it has flagged the run
+//	/debug/pprof/  the standard Go profiler endpoints
+//
+// The handlers are mounted on a private mux (not http.DefaultServeMux),
+// so importing this package never changes a host program's default
+// routes.
+type Exporter struct {
+	reg *Registry
+	wd  *Watchdog
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exporter on addr (e.g. ":9091", or "127.0.0.1:0" to
+// pick a free port — see Addr). Registry and Watchdog may each be nil;
+// absent pieces degrade gracefully (empty /metrics, always-healthy
+// /healthz).
+func Serve(addr string, reg *Registry, wd *Watchdog) (*Exporter, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	e := &Exporter{reg: reg, wd: wd, ln: ln}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.handleMetrics)
+	mux.HandleFunc("/metrics.json", e.handleMetricsJSON)
+	mux.HandleFunc("/healthz", e.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	e.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go e.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return e, nil
+}
+
+// Addr returns the bound address, useful with a ":0" listen request.
+func (e *Exporter) Addr() string { return e.ln.Addr().String() }
+
+// Close stops the HTTP server and releases the port.
+func (e *Exporter) Close() error { return e.srv.Close() }
+
+func (e *Exporter) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if e.reg != nil {
+		e.reg.WritePrometheus(w) //nolint:errcheck // client went away
+	}
+}
+
+func (e *Exporter) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.reg == nil {
+		w.Write([]byte("[]\n")) //nolint:errcheck
+		return
+	}
+	e.reg.WriteJSON(w) //nolint:errcheck
+}
+
+func (e *Exporter) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if e.wd != nil {
+		if err := e.wd.Err(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, err.Error())
+			return
+		}
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// StepRecord is one line of the per-step JSONL run log: the compact
+// trajectory a long-running simulation leaves behind for offline
+// analysis (each line is independently parseable, so a truncated log
+// from an aborted run is still usable).
+type StepRecord struct {
+	Step int `json:"step"`
+	// Mass is the total distribution mass (a conserved invariant).
+	Mass float64 `json:"mass"`
+	// MaxVel is the largest fluid speed (lattice units).
+	MaxVel float64 `json:"maxVel"`
+	// KernelMillis is the wall-clock time of the step's solver work.
+	KernelMillis float64 `json:"kernelMillis"`
+	// MLUPS is million lattice-node updates per second for this step.
+	MLUPS float64 `json:"mlups"`
+}
+
+// StepLogger writes StepRecords as JSON Lines. Safe for concurrent use.
+type StepLogger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewStepLogger writes records to w, one JSON object per line.
+func NewStepLogger(w io.Writer) *StepLogger {
+	return &StepLogger{enc: json.NewEncoder(w)}
+}
+
+// Log appends one record.
+func (l *StepLogger) Log(rec StepRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(rec)
+}

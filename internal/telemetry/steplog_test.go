@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStepLoggerWritesJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewStepLogger(&buf)
+	for i := 1; i <= 3; i++ {
+		if err := l.Log(StepRecord{Step: i, Mass: 4096, MaxVel: 0.01 * float64(i),
+			KernelMillis: 1.5, MLUPS: 2.25}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := bufio.NewScanner(&buf)
+	var steps []int
+	for sc.Scan() {
+		var rec StepRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", sc.Text(), err)
+		}
+		steps = append(steps, rec.Step)
+		if rec.Mass != 4096 || rec.MLUPS != 2.25 {
+			t.Fatalf("record round-trip mismatch: %+v", rec)
+		}
+	}
+	if len(steps) != 3 || steps[0] != 1 || steps[2] != 3 {
+		t.Fatalf("steps = %v, want [1 2 3]", steps)
+	}
+}
+
+func TestStepLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewStepLogger(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Log(StepRecord{Step: i}) //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 400 {
+		t.Fatalf("got %d lines, want 400", lines)
+	}
+}

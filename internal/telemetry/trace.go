@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"lbmib/internal/cluster"
+	"lbmib/internal/core"
+	"lbmib/internal/cubesolver"
+)
+
+// traceEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry a start timestamp and a duration in
+// microseconds; "M" metadata events name processes and threads.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON object chrome://tracing and Perfetto
+// load.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Tracer accumulates a Chrome trace-event timeline from solver observer
+// callbacks and writes it as one JSON document on Flush. It implements
+// core.Observer (sequential and OpenMP-style solvers report on track 0)
+// and cubesolver.PhaseObserver (one track per worker thread of the P×Q×R
+// mesh, so barrier waits show as gaps between a thread's phase slices);
+// ClusterObserver adapts it to the distributed solver's per-rank
+// callbacks. Safe for concurrent use — the cube solver's workers and the
+// cluster's ranks all report into the same Tracer.
+//
+// The observer callbacks deliver durations at completion time, so each
+// slice's start is reconstructed as (now − duration) relative to the
+// Tracer's creation; slices on one track never overlap because each
+// worker executes its phases serially.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []traceEvent
+	named  map[int]bool // tracks already given a thread_name
+}
+
+// NewTracer creates an empty timeline whose time origin is now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), named: map[int]bool{}}
+}
+
+// Slice appends a completed span of the given duration ending now on
+// track tid. Args may be nil.
+func (t *Tracer) Slice(tid int, name, cat string, d time.Duration, args map[string]any) {
+	now := time.Now()
+	t.mu.Lock()
+	ts := float64(now.Sub(t.start).Microseconds()) - float64(d.Microseconds())
+	if ts < 0 {
+		ts = 0
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Phase: "X",
+		TS: ts, Dur: float64(d.Microseconds()),
+		PID: 1, TID: tid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// NameTrack attaches a human-readable name to track tid (rendered as the
+// thread name in the trace viewer). The first name wins.
+func (t *Tracer) NameTrack(tid int, name string) {
+	t.mu.Lock()
+	t.nameTrackLocked(tid, name)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) nameTrackLocked(tid int, name string) {
+	if t.named[tid] {
+		return
+	}
+	t.named[tid] = true
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// KernelDone implements core.Observer: sequential and OpenMP-style
+// solvers run Algorithm 1's kernels on the coordinating goroutine, so
+// every kernel slice lands on track 0.
+func (t *Tracer) KernelDone(step int, k core.Kernel, d time.Duration) {
+	t.NameTrack(0, "solver")
+	t.Slice(0, k.String(), "kernel", d, map[string]any{"step": step})
+}
+
+// PhaseDone implements cubesolver.PhaseObserver: each worker thread of
+// the P×Q×R mesh gets its own track, making Algorithm 4's phase overlap
+// and barrier waits visible.
+func (t *Tracer) PhaseDone(step, tid int, p cubesolver.Phase, d time.Duration) {
+	t.NameTrack(tid, fmt.Sprintf("worker %d", tid))
+	t.Slice(tid, p.String(), "phase", d, map[string]any{"step": step})
+}
+
+// clusterTracer adapts a Tracer to cluster.PhaseObserver (the method set
+// clashes with cubesolver.PhaseObserver, so the adapter is a separate
+// type).
+type clusterTracer struct{ t *Tracer }
+
+func (c clusterTracer) PhaseDone(step, rank int, p cluster.Phase, d time.Duration) {
+	c.t.NameTrack(rank, fmt.Sprintf("rank %d", rank))
+	c.t.Slice(rank, p.String(), "phase", d, map[string]any{"step": step})
+}
+
+// ClusterObserver returns a cluster.PhaseObserver writing one track per
+// rank into this Tracer.
+func (t *Tracer) ClusterObserver() cluster.PhaseObserver { return clusterTracer{t} }
+
+// Len returns how many events have been recorded (metadata included).
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Write writes the accumulated timeline as Chrome trace-event JSON.
+// The Tracer remains usable; later writes include the earlier events.
+func (t *Tracer) Write(w io.Writer) error {
+	t.mu.Lock()
+	doc := traceFile{TraceEvents: append([]traceEvent(nil), t.events...), DisplayTimeUnit: "ms"}
+	t.mu.Unlock()
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []traceEvent{}
+	}
+	return json.NewEncoder(w).Encode(doc)
+}

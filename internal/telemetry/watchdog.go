@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"lbmib/internal/grid"
+)
+
+// HealthError reports the step at which a simulation first violated a
+// physics invariant, and why.
+type HealthError struct {
+	Step   int
+	Reason string
+}
+
+// Error implements error.
+func (e *HealthError) Error() string {
+	return fmt.Sprintf("telemetry: simulation unhealthy at step %d: %s", e.Step, e.Reason)
+}
+
+// WatchdogConfig tunes the physics watchdog.
+type WatchdogConfig struct {
+	// MassDriftTol is the allowed relative drift of total distribution
+	// mass from the first checked state. The BGK collision and the
+	// boundary conditions used here conserve mass to floating-point
+	// rounding, so the default 1e-6 is generous for a healthy run and
+	// catches blow-ups orders of magnitude before they reach NaN.
+	MassDriftTol float64
+	// MaxVelocity is the largest admissible fluid speed. The default is
+	// the lattice sound speed 1/√3 ≈ 0.577: beyond it the D3Q19 model is
+	// meaningless. Tighter values (≈0.1) catch marginal runs earlier.
+	MaxVelocity float64
+	// Registry, when non-nil, receives lbmib_mass, lbmib_mass_drift,
+	// lbmib_max_velocity and lbmib_unhealthy gauges updated on every
+	// check.
+	Registry *Registry
+}
+
+// Watchdog samples per-step physics health: total mass drift, maximum
+// velocity, and NaN/Inf contamination of ρ and u. The first violation is
+// latched — Healthy() turns false, Err() returns a *HealthError naming
+// the exact step, and later Checks return the same error without
+// rescanning, so a driver can abort or merely flag the run.
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu       sync.Mutex
+	refMass  float64
+	haveRef  bool
+	checks   int
+	failErr  *HealthError
+	gMass    *Gauge
+	gDrift   *Gauge
+	gMaxVel  *Gauge
+	gHealthy *Gauge
+}
+
+// NewWatchdog builds a watchdog; zero config fields take the documented
+// defaults.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.MassDriftTol == 0 {
+		cfg.MassDriftTol = 1e-6
+	}
+	if cfg.MaxVelocity == 0 {
+		cfg.MaxVelocity = 1 / math.Sqrt(3)
+	}
+	w := &Watchdog{cfg: cfg}
+	if r := cfg.Registry; r != nil {
+		w.gMass = r.Gauge("lbmib_mass", "Total distribution mass of the fluid grid.")
+		w.gDrift = r.Gauge("lbmib_mass_drift", "Relative total-mass drift from the first watchdog check.")
+		w.gMaxVel = r.Gauge("lbmib_max_velocity", "Largest fluid speed (lattice units).")
+		w.gHealthy = r.Gauge("lbmib_unhealthy", "1 once the watchdog has flagged the run, else 0.")
+	}
+	return w
+}
+
+// Check scans the grid after the given step. It returns nil while the
+// run is healthy and the latched *HealthError once it is not. One pass
+// over the nodes computes total mass, the maximum speed, and NaN/Inf
+// detection on ρ and u.
+func (w *Watchdog) Check(step int, g *grid.Grid) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failErr != nil {
+		return w.failErr
+	}
+	w.checks++
+
+	mass := 0.0
+	maxV2 := 0.0
+	badNode := -1
+	badWhat := ""
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if badNode < 0 {
+			if math.IsNaN(n.Rho) || math.IsInf(n.Rho, 0) {
+				badNode, badWhat = i, fmt.Sprintf("rho=%g", n.Rho)
+			} else if math.IsNaN(n.Vel[0]) || math.IsNaN(n.Vel[1]) || math.IsNaN(n.Vel[2]) ||
+				math.IsInf(n.Vel[0], 0) || math.IsInf(n.Vel[1], 0) || math.IsInf(n.Vel[2], 0) {
+				badNode, badWhat = i, fmt.Sprintf("u=(%g,%g,%g)", n.Vel[0], n.Vel[1], n.Vel[2])
+			}
+		}
+		for _, v := range n.DF {
+			mass += v
+		}
+		v2 := n.Vel[0]*n.Vel[0] + n.Vel[1]*n.Vel[1] + n.Vel[2]*n.Vel[2]
+		if v2 > maxV2 {
+			maxV2 = v2
+		}
+	}
+	maxV := math.Sqrt(maxV2)
+
+	if !w.haveRef {
+		w.haveRef = true
+		w.refMass = mass
+	}
+	drift := 0.0
+	if w.refMass != 0 {
+		drift = math.Abs(mass-w.refMass) / math.Abs(w.refMass)
+	}
+
+	if w.gMass != nil {
+		w.gMass.Set(mass)
+		w.gDrift.Set(drift)
+		w.gMaxVel.Set(maxV)
+	}
+
+	fail := func(reason string) error {
+		w.failErr = &HealthError{Step: step, Reason: reason}
+		if w.gHealthy != nil {
+			w.gHealthy.Set(1)
+		}
+		return w.failErr
+	}
+	if badNode >= 0 {
+		x, y, z := badNode/(g.NY*g.NZ), (badNode/g.NZ)%g.NY, badNode%g.NZ
+		return fail(fmt.Sprintf("non-finite state at node (%d,%d,%d): %s", x, y, z, badWhat))
+	}
+	// A NaN anywhere in the distributions poisons the mass sum even
+	// before it reaches ρ/u, so check the aggregate too.
+	if math.IsNaN(mass) || math.IsInf(mass, 0) {
+		return fail(fmt.Sprintf("non-finite total mass %g", mass))
+	}
+	if drift > w.cfg.MassDriftTol {
+		return fail(fmt.Sprintf("total mass drifted %.3g relative (tolerance %.3g): %g vs initial %g",
+			drift, w.cfg.MassDriftTol, mass, w.refMass))
+	}
+	if maxV > w.cfg.MaxVelocity {
+		return fail(fmt.Sprintf("max speed %.4g exceeds limit %.4g", maxV, w.cfg.MaxVelocity))
+	}
+	return nil
+}
+
+// Healthy reports whether no violation has been latched.
+func (w *Watchdog) Healthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failErr == nil
+}
+
+// Err returns the latched *HealthError, or nil while healthy.
+func (w *Watchdog) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failErr == nil {
+		return nil
+	}
+	return w.failErr
+}
+
+// FailStep returns the step of the first violation, or −1 while healthy.
+func (w *Watchdog) FailStep() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failErr == nil {
+		return -1
+	}
+	return w.failErr.Step
+}
+
+// Checks returns how many grids have been scanned (latched failures
+// excluded).
+func (w *Watchdog) Checks() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.checks
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"lbmib/internal/core"
+	"lbmib/internal/fiber"
+	"lbmib/internal/grid"
+)
+
+// TestWatchdogFlagsNaNAtExactStep seeds a NaN into one node's
+// distribution mid-run and asserts the watchdog latches the failure at
+// exactly the step the contamination appears, not before and not after.
+func TestWatchdogFlagsNaNAtExactStep(t *testing.T) {
+	s := core.NewSolver(core.Config{NX: 8, NY: 8, NZ: 8, Tau: 0.7,
+		BodyForce: [3]float64{1e-5, 0, 0}})
+	wd := NewWatchdog(WatchdogConfig{})
+
+	for step := 1; step <= 4; step++ {
+		s.Step()
+		if err := wd.Check(step, s.Fluid); err != nil {
+			t.Fatalf("healthy run flagged at step %d: %v", step, err)
+		}
+	}
+	// Poison one distribution entry; the next collision/moment update
+	// would spread it, but the watchdog must already see the mass sum go
+	// non-finite on the very step it appears.
+	s.Fluid.Nodes[123].DF[5] = math.NaN()
+	s.Fluid.Nodes[200].Vel[1] = math.NaN()
+
+	err := wd.Check(5, s.Fluid)
+	if err == nil {
+		t.Fatal("watchdog missed the injected NaN")
+	}
+	var he *HealthError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %T, want *HealthError", err)
+	}
+	if he.Step != 5 {
+		t.Fatalf("flagged at step %d, want 5", he.Step)
+	}
+	if wd.Healthy() || wd.FailStep() != 5 {
+		t.Fatalf("latch state: healthy=%v failStep=%d", wd.Healthy(), wd.FailStep())
+	}
+	// The failure stays latched with the original step even if the state
+	// is checked again later.
+	if err2 := wd.Check(6, s.Fluid); !errors.Is(err2, err) || wd.FailStep() != 5 {
+		t.Fatalf("latched error changed on re-check: %v (failStep=%d)", err2, wd.FailStep())
+	}
+}
+
+// TestWatchdogHealthy16Cubed runs a real 16³ simulation with an immersed
+// sheet and asserts the default mass-drift tolerance passes every step.
+func TestWatchdogHealthy16Cubed(t *testing.T) {
+	sheet := fiber.NewSheet(fiber.Params{
+		NumFibers: 8, NodesPerFiber: 8, Width: 3.2, Height: 3.2,
+		Origin: fiber.Vec3{4, 6, 6}, Ks: 0.05, Kb: 0.001,
+	})
+	s := core.NewSolver(core.Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7,
+		BodyForce: [3]float64{2e-5, 0, 0}, Sheet: sheet})
+	wd := NewWatchdog(WatchdogConfig{})
+	for step := 1; step <= 20; step++ {
+		s.Step()
+		if err := wd.Check(step, s.Fluid); err != nil {
+			t.Fatalf("healthy 16³ run flagged at step %d: %v", step, err)
+		}
+	}
+	if !wd.Healthy() || wd.FailStep() != -1 || wd.Checks() != 20 {
+		t.Fatalf("healthy=%v failStep=%d checks=%d", wd.Healthy(), wd.FailStep(), wd.Checks())
+	}
+}
+
+func TestWatchdogMassDrift(t *testing.T) {
+	g := grid.New(4, 4, 4)
+	wd := NewWatchdog(WatchdogConfig{MassDriftTol: 1e-6})
+	if err := wd.Check(0, g); err != nil {
+		t.Fatal(err)
+	}
+	// Inject 1% extra mass into one node.
+	g.Nodes[0].DF[0] += 0.01 * g.TotalMass()
+	err := wd.Check(1, g)
+	if err == nil || !strings.Contains(err.Error(), "mass drifted") {
+		t.Fatalf("drift not flagged: %v", err)
+	}
+	if wd.FailStep() != 1 {
+		t.Fatalf("failStep = %d, want 1", wd.FailStep())
+	}
+}
+
+func TestWatchdogVelocityLimit(t *testing.T) {
+	g := grid.New(4, 4, 4)
+	wd := NewWatchdog(WatchdogConfig{MaxVelocity: 0.1})
+	g.Nodes[7].Vel = [3]float64{0.2, 0, 0}
+	err := wd.Check(3, g)
+	if err == nil || !strings.Contains(err.Error(), "max speed") {
+		t.Fatalf("speed not flagged: %v", err)
+	}
+}
+
+func TestWatchdogGauges(t *testing.T) {
+	r := NewRegistry()
+	g := grid.New(4, 4, 4)
+	wd := NewWatchdog(WatchdogConfig{Registry: r})
+	if err := wd.Check(0, g); err != nil {
+		t.Fatal(err)
+	}
+	if mass := r.Gauge("lbmib_mass", "").Value(); math.Abs(mass-g.TotalMass()) > 1e-12 {
+		t.Fatalf("mass gauge = %g, want %g", mass, g.TotalMass())
+	}
+	if r.Gauge("lbmib_unhealthy", "").Value() != 0 {
+		t.Fatal("healthy run has unhealthy gauge set")
+	}
+	g.Nodes[0].Rho = math.Inf(1)
+	wd.Check(1, g) //nolint:errcheck // latched below
+	if r.Gauge("lbmib_unhealthy", "").Value() != 1 {
+		t.Fatal("unhealthy gauge not raised")
+	}
+}

@@ -34,6 +34,8 @@ package lbmib
 import (
 	"fmt"
 	"io"
+	"os"
+	"time"
 
 	"lbmib/internal/core"
 	"lbmib/internal/cubesolver"
@@ -44,6 +46,7 @@ import (
 	"lbmib/internal/output"
 	"lbmib/internal/par"
 	"lbmib/internal/taskflow"
+	"lbmib/internal/telemetry"
 )
 
 // SolverKind selects the engine implementation.
@@ -156,6 +159,26 @@ type Config struct {
 	// CubeSize is the cube edge k for the CubeBased engine (default 4);
 	// the grid dimensions must be divisible by it.
 	CubeSize int
+
+	// Telemetry, when non-nil, receives runtime metrics from the
+	// simulation: a step counter, an MLUPS gauge, per-step wall-time
+	// histograms, and per-kernel (Sequential/OpenMP) or per-phase
+	// (CubeBased) latency histograms. Serve it live with
+	// telemetry.Serve.
+	Telemetry *telemetry.Registry
+	// TraceFile, when non-empty, records a Chrome trace-event JSON
+	// timeline of the run — one track per worker thread for the
+	// CubeBased engine, one kernel track for Sequential/OpenMP — written
+	// on Close and loadable in chrome://tracing or Perfetto.
+	TraceFile string
+	// LogWriter, when non-nil, receives one JSON line per completed step
+	// (step, mass, maxVel, kernelMillis, mlups). Per-step sampling costs
+	// one grid scan per step.
+	LogWriter io.Writer
+	// Watchdog, when non-nil, checks physics health after every step;
+	// once it flags the run, Run stops early and Health reports the
+	// violation. Per-step sampling costs one grid scan per step.
+	Watchdog *telemetry.Watchdog
 }
 
 // engine is what each solver implementation provides to the facade.
@@ -167,7 +190,38 @@ type engine interface {
 	load(g *grid.Grid) error
 	velocityAt(x, y, z int) [3]float64
 	densityAt(x, y, z int) float64
+	observe(si *stepInstr) // attach timing callbacks where the engine supports them
 	close()
+}
+
+// stepInstr fans the engines' timing callbacks out to the configured
+// telemetry sinks. It implements core.Observer (sequential and
+// OpenMP-style engines) and cubesolver.PhaseObserver (cube engine); only
+// the histograms matching the selected engine are registered.
+type stepInstr struct {
+	tracer     *telemetry.Tracer
+	kernelHist [core.NumKernels + 1]*telemetry.Histogram
+	phaseHist  [cubesolver.NumPhases + 1]*telemetry.Histogram
+}
+
+// KernelDone implements core.Observer.
+func (si *stepInstr) KernelDone(step int, k core.Kernel, d time.Duration) {
+	if si.tracer != nil {
+		si.tracer.KernelDone(step, k, d)
+	}
+	if k >= 1 && k <= core.NumKernels && si.kernelHist[k] != nil {
+		si.kernelHist[k].Observe(d.Seconds())
+	}
+}
+
+// PhaseDone implements cubesolver.PhaseObserver.
+func (si *stepInstr) PhaseDone(step, tid int, p cubesolver.Phase, d time.Duration) {
+	if si.tracer != nil {
+		si.tracer.PhaseDone(step, tid, p, d)
+	}
+	if p >= 1 && p <= cubesolver.NumPhases && si.phaseHist[p] != nil {
+		si.phaseHist[p].Observe(d.Seconds())
+	}
 }
 
 // Simulation is a configured LBM-IB problem with a selected engine.
@@ -176,6 +230,15 @@ type Simulation struct {
 	eng        engine
 	sheets     []*fiber.Sheet
 	stepOffset int // steps completed before a Restore
+
+	// Telemetry plumbing (all optional; nil when not configured).
+	tracer    *telemetry.Tracer
+	traceFile *os.File
+	logger    *telemetry.StepLogger
+	watchdog  *telemetry.Watchdog
+	mSteps    *telemetry.Counter
+	mMLUPS    *telemetry.Gauge
+	mStepSec  *telemetry.Histogram
 }
 
 func buildSheet(sc *SheetConfig) (*fiber.Sheet, error) {
@@ -300,23 +363,173 @@ func New(cfg Config) (*Simulation, error) {
 	default:
 		return nil, fmt.Errorf("lbmib: unknown solver kind %d", cfg.Solver)
 	}
+	if err := sim.initTelemetry(); err != nil {
+		sim.eng.close()
+		return nil, err
+	}
 	return sim, nil
 }
 
-// Step advances one time step (the nine kernels of Algorithm 1).
-func (s *Simulation) Step() { s.eng.step() }
+// initTelemetry sets up the optional observability sinks and attaches
+// the engine's timing callbacks. Without any telemetry configuration the
+// simulation runs exactly as before (no observer, no per-step scans).
+func (s *Simulation) initTelemetry() error {
+	cfg := s.cfg
+	s.watchdog = cfg.Watchdog
+	if cfg.LogWriter != nil {
+		s.logger = telemetry.NewStepLogger(cfg.LogWriter)
+	}
+	if cfg.TraceFile != "" {
+		f, err := os.Create(cfg.TraceFile)
+		if err != nil {
+			return fmt.Errorf("lbmib: trace file: %w", err)
+		}
+		s.traceFile = f
+		s.tracer = telemetry.NewTracer()
+	}
+	if r := cfg.Telemetry; r != nil {
+		s.mSteps = r.Counter("lbmib_steps_total", "Completed time steps.")
+		s.mMLUPS = r.Gauge("lbmib_mlups", "Million lattice-node updates per second over the last Run batch.")
+		s.mStepSec = r.Histogram("lbmib_step_seconds", "Wall-clock time per time step.",
+			telemetry.ExpBuckets(1e-4, 2, 18))
+	}
+	if s.tracer == nil && cfg.Telemetry == nil {
+		return nil
+	}
+	si := &stepInstr{tracer: s.tracer}
+	if r := cfg.Telemetry; r != nil {
+		buckets := telemetry.ExpBuckets(1e-5, 2, 18)
+		switch cfg.Solver {
+		case Sequential, OpenMP:
+			for k := core.Kernel(1); k <= core.NumKernels; k++ {
+				si.kernelHist[k] = r.Histogram("lbmib_kernel_seconds",
+					"Wall-clock time per kernel execution (Algorithm 1).",
+					buckets, telemetry.L("kernel", k.String()))
+			}
+		case CubeBased:
+			for p := cubesolver.Phase(1); p <= cubesolver.NumPhases; p++ {
+				si.phaseHist[p] = r.Histogram("lbmib_phase_seconds",
+					"Wall-clock time per worker per loop nest (Algorithm 4).",
+					buckets, telemetry.L("phase", p.String()))
+			}
+		}
+	}
+	s.eng.observe(si)
+	return nil
+}
 
-// Run advances n time steps.
-func (s *Simulation) Run(n int) { s.eng.run(n) }
+// instrumented reports whether any telemetry sink needs Step/Run
+// bookkeeping.
+func (s *Simulation) instrumented() bool {
+	return s.mSteps != nil || s.tracer != nil || s.logger != nil || s.watchdog != nil
+}
+
+// Step advances one time step (the nine kernels of Algorithm 1).
+func (s *Simulation) Step() { s.runSteps(1) }
+
+// Run advances n time steps. With a Watchdog configured, Run stops at
+// the first step that violates a physics invariant; Health reports it.
+func (s *Simulation) Run(n int) { s.runSteps(n) }
+
+// runSteps drives the engine with whatever bookkeeping the configured
+// telemetry requires: nothing extra without telemetry, batch timing with
+// a Registry alone, and a per-step grid scan when a LogWriter or
+// Watchdog needs per-step physics.
+func (s *Simulation) runSteps(n int) {
+	if n <= 0 {
+		return
+	}
+	if !s.instrumented() {
+		s.eng.run(n)
+		return
+	}
+	nodes := float64(s.cfg.NX) * float64(s.cfg.NY) * float64(s.cfg.NZ)
+	if s.logger == nil && s.watchdog == nil {
+		t0 := time.Now()
+		s.eng.run(n)
+		s.recordBatch(n, nodes, time.Since(t0))
+		return
+	}
+	for i := 0; i < n; i++ {
+		if s.watchdog != nil && !s.watchdog.Healthy() {
+			return // the run is flagged; don't advance a diverged state
+		}
+		t0 := time.Now()
+		s.eng.step()
+		elapsed := time.Since(t0)
+		s.recordBatch(1, nodes, elapsed)
+
+		step := s.StepCount()
+		g := s.eng.snapshot()
+		if s.watchdog != nil {
+			s.watchdog.Check(step, g) //nolint:errcheck // latched; exposed via Health
+		}
+		if s.logger != nil {
+			mlups := 0.0
+			if elapsed > 0 {
+				mlups = nodes / elapsed.Seconds() / 1e6
+			}
+			s.logger.Log(telemetry.StepRecord{ //nolint:errcheck // logging is best-effort
+				Step:         step,
+				Mass:         g.TotalMass(),
+				MaxVel:       g.MaxVelocity(),
+				KernelMillis: float64(elapsed.Microseconds()) / 1e3,
+				MLUPS:        mlups,
+			})
+		}
+	}
+}
+
+// recordBatch updates the registry metrics for n steps that took
+// elapsed.
+func (s *Simulation) recordBatch(n int, nodes float64, elapsed time.Duration) {
+	if s.mSteps == nil {
+		return
+	}
+	s.mSteps.Add(int64(n))
+	if elapsed > 0 {
+		s.mMLUPS.Set(nodes * float64(n) / elapsed.Seconds() / 1e6)
+	}
+	perStep := (elapsed / time.Duration(n)).Seconds()
+	for i := 0; i < n; i++ {
+		s.mStepSec.Observe(perStep)
+	}
+}
+
+// Health returns nil while the configured Watchdog (if any) considers
+// the run healthy, and the latched *telemetry.HealthError naming the
+// first unstable step otherwise.
+func (s *Simulation) Health() error {
+	if s.watchdog == nil {
+		return nil
+	}
+	return s.watchdog.Err()
+}
 
 // StepCount returns the number of completed time steps, including steps
 // recorded in a restored checkpoint.
 func (s *Simulation) StepCount() int { return s.stepOffset + s.eng.stepCount() }
 
-// Close releases worker goroutines held by parallel engines. The
-// Simulation must not be used afterwards. Close is safe for the
-// sequential engine too (a no-op).
-func (s *Simulation) Close() { s.eng.close() }
+// Close releases worker goroutines held by parallel engines and, when a
+// TraceFile is configured, writes the accumulated Chrome trace-event
+// timeline. The Simulation must not be used afterwards. Close is safe
+// for the sequential engine too (releasing nothing).
+func (s *Simulation) Close() error {
+	s.eng.close()
+	if s.traceFile == nil {
+		return nil
+	}
+	f := s.traceFile
+	s.traceFile = nil
+	if err := s.tracer.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("lbmib: writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lbmib: closing trace: %w", err)
+	}
+	return nil
+}
 
 // Config returns the configuration the simulation was built with
 // (including derived defaults such as Tau).
@@ -452,7 +665,8 @@ func (e *seqEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *seqEngine) close() {}
+func (e *seqEngine) close()                {}
+func (e *seqEngine) observe(si *stepInstr) { e.s.Observer = si }
 func (e *seqEngine) load(g *grid.Grid) error {
 	copy(e.s.Fluid.Nodes, g.Nodes)
 	return nil
@@ -471,7 +685,8 @@ func (e *ompEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *ompEngine) close() { e.s.Close() }
+func (e *ompEngine) close()                { e.s.Close() }
+func (e *ompEngine) observe(si *stepInstr) { e.s.Observer = si }
 func (e *ompEngine) load(g *grid.Grid) error {
 	copy(e.s.Fluid.Nodes, g.Nodes)
 	return nil
@@ -491,6 +706,7 @@ func (e *cubeEngine) densityAt(x, y, z int) float64 {
 	return e.s.Fluid.At(x, y, z).Rho
 }
 func (e *cubeEngine) close()                  { e.s.Close() }
+func (e *cubeEngine) observe(si *stepInstr)   { e.s.Observer = si }
 func (e *cubeEngine) load(g *grid.Grid) error { return e.s.Fluid.FromGrid(g) }
 
 type taskflowEngine struct{ s *taskflow.Solver }
@@ -506,5 +722,10 @@ func (e *taskflowEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *taskflowEngine) close()                  {}
+func (e *taskflowEngine) close() {}
+
+// observe is a no-op: the task-scheduled engine has no timing callbacks
+// yet (its phases interleave across steps, so a per-step observer would
+// mislead).
+func (e *taskflowEngine) observe(*stepInstr)      {}
 func (e *taskflowEngine) load(g *grid.Grid) error { return e.s.Fluid.FromGrid(g) }
