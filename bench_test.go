@@ -33,7 +33,7 @@ func benchSheet() *fiber.Sheet {
 // nine kernels of Algorithm 1) and reports the collision kernel's share of
 // the step — Table I's headline row (paper: 73.2% on their hardware).
 func BenchmarkTable1SequentialKernels(b *testing.B) {
-	s := core.NewSolver(core.Config{
+	s := core.MustNewSolver(core.Config{
 		NX: 32, NY: 32, NZ: 32, Tau: 0.7,
 		BodyForce: [3]float64{2e-5, 0, 0}, Sheet: benchSheet(),
 	})
@@ -108,7 +108,7 @@ func reportMLUPS(b *testing.B) {
 // reports each engine's throughput in MLUPS.
 func BenchmarkSolverStep(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) {
-		s := core.NewSolver(core.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7,
+		s := core.MustNewSolver(core.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7,
 			BodyForce: [3]float64{2e-5, 0, 0}, Sheet: benchSheet()})
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -117,8 +117,18 @@ func BenchmarkSolverStep(b *testing.B) {
 		reportMLUPS(b)
 	})
 	b.Run("omp-4thr", func(b *testing.B) {
-		s := omp.NewSolver(omp.Config{Config: core.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7,
+		s := omp.MustNewSolver(omp.Config{Config: core.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7,
 			BodyForce: [3]float64{2e-5, 0, 0}, Sheet: benchSheet()}, Threads: 4})
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+		reportMLUPS(b)
+	})
+	b.Run("omp-4thr-legacycopy", func(b *testing.B) {
+		s := omp.MustNewSolver(omp.Config{Config: core.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7,
+			BodyForce: [3]float64{2e-5, 0, 0}, Sheet: benchSheet()}, Threads: 4, LegacyCopy: true})
 		defer s.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -129,6 +139,20 @@ func BenchmarkSolverStep(b *testing.B) {
 	b.Run("cube-4thr-k8", func(b *testing.B) {
 		s, err := cubesolver.NewSolver(cubesolver.Config{NX: 32, NY: 32, NZ: 32,
 			CubeSize: 8, Threads: 4, Tau: 0.7,
+			BodyForce: [3]float64{2e-5, 0, 0}, Sheet: benchSheet()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+		reportMLUPS(b)
+	})
+	b.Run("cube-4thr-k8-legacycopy", func(b *testing.B) {
+		s, err := cubesolver.NewSolver(cubesolver.Config{NX: 32, NY: 32, NZ: 32,
+			CubeSize: 8, Threads: 4, Tau: 0.7, LegacyCopy: true,
 			BodyForce: [3]float64{2e-5, 0, 0}, Sheet: benchSheet()})
 		if err != nil {
 			b.Fatal(err)
@@ -270,7 +294,7 @@ func BenchmarkAblationBarriers(b *testing.B) {
 // BenchmarkAblationCopyVsSwap times kernel 9 alone — what a pointer-swap
 // scheme would save per step (DESIGN.md ablation 4).
 func BenchmarkAblationCopyVsSwap(b *testing.B) {
-	s := core.NewSolver(core.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7})
+	s := core.MustNewSolver(core.Config{NX: 32, NY: 32, NZ: 32, Tau: 0.7})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.CopyDistribution()

@@ -178,3 +178,77 @@ func TestCheckpointPreservesFixedNodes(t *testing.T) {
 		t.Fatal("no free node moved after restore")
 	}
 }
+
+// Checkpoint taken mid-run from the swap-based cube engine after an odd
+// number of steps — the live layout holds its present distributions in
+// the alternate buffer — restored onto the sequential engine. The
+// snapshot normalization must hide the parity entirely: both runs
+// continue on the same trajectory.
+func TestCheckpointAcrossSwapBoundaryCubeToSequential(t *testing.T) {
+	a, err := New(baseCfg(CubeBased))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Run(7) // odd: the cube layout's parity bit is flipped here
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Restore(&buf, baseCfg(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Run(5)
+	b.Run(5)
+	for z := 0; z < 16; z++ {
+		va, vb := a.FluidVelocity(7, 8, z), b.FluidVelocity(7, 8, z)
+		for d := 0; d < 3; d++ {
+			if math.Abs(va[d]-vb[d]) > 1e-9 {
+				t.Fatalf("cube→sequential resume diverges at z=%d: %v vs %v", z, va, vb)
+			}
+		}
+	}
+	pa, pb := a.SheetPositions(), b.SheetPositions()
+	for i := range pa {
+		for d := 0; d < 3; d++ {
+			if math.Abs(pa[i][d]-pb[i][d]) > 1e-9 {
+				t.Fatalf("sheet node %d diverges after cube→sequential resume", i)
+			}
+		}
+	}
+}
+
+// The reverse crossing: sequential checkpoint restored onto the two
+// swap-based engines, resumed across another odd step count so the
+// restored runs end mid-parity.
+func TestCheckpointAcrossSwapBoundarySequentialToSwapEngines(t *testing.T) {
+	a, err := New(baseCfg(Sequential))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.Run(7)
+	var buf bytes.Buffer
+	if err := a.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a.Run(5)
+	for _, kind := range []SolverKind{OpenMP, CubeBased} {
+		b, err := Restore(bytes.NewReader(buf.Bytes()), baseCfg(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Run(5)
+		for z := 0; z < 16; z++ {
+			va, vb := a.FluidVelocity(7, 8, z), b.FluidVelocity(7, 8, z)
+			for d := 0; d < 3; d++ {
+				if math.Abs(va[d]-vb[d]) > 1e-9 {
+					t.Fatalf("sequential→%v resume diverges at z=%d: %v vs %v", kind, z, va, vb)
+				}
+			}
+		}
+		b.Close()
+	}
+}

@@ -21,7 +21,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmib-bench: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, ablations or all")
+		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, copyswap, ablations or all")
 		paper       = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
 		steps       = flag.Int("steps", 0, "override time steps for measured experiments")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and pprof on this address while benchmarks run")
@@ -65,6 +65,10 @@ func main() {
 		}},
 		{"mlups", func() (string, error) {
 			r, err := experiments.MLUPS(opt, reg)
+			return r.Render(), err
+		}},
+		{"copyswap", func() (string, error) {
+			r, err := experiments.AblationCopySwapEngines(opt, reg)
 			return r.Render(), err
 		}},
 		{"ablations", func() (string, error) {

@@ -93,11 +93,14 @@ func main() {
 	}
 
 	if *verify {
-		ref := core.NewSolver(core.Config{
+		ref, err := core.NewSolver(core.Config{
 			NX: *nx, NY: *ny, NZ: *nz, Tau: *tau,
 			BodyForce: [3]float64{*force, 0, 0},
 			Sheet:     mkSheet(),
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		ref.Run(*steps)
 		d, err := validate.Grids(ref.Fluid, res.Fluid)
 		if err != nil {

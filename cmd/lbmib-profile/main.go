@@ -67,10 +67,13 @@ func main() {
 		})
 	}
 
-	s := core.NewSolver(core.Config{
+	s, err := core.NewSolver(core.Config{
 		NX: *nx, NY: *ny, NZ: *nz, Tau: *tau,
 		BodyForce: [3]float64{2e-5, 0, 0}, Sheet: sheet,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	obs := &fanObserver{prof: &perfmon.KernelProfile{}}
 	if *traceOut != "" {
 		obs.tracer = telemetry.NewTracer()

@@ -27,7 +27,7 @@ func spanningSheet() *fiber.Sheet {
 }
 
 func refRun(sheet *fiber.Sheet, steps int) *core.Solver {
-	s := core.NewSolver(core.Config{
+	s := core.MustNewSolver(core.Config{
 		NX: 32, NY: 16, NZ: 16, Tau: 0.7,
 		BodyForce: [3]float64{3e-5, 0, 0},
 		Sheet:     sheet,
@@ -97,7 +97,7 @@ func TestSpanningSheetMatchesToTolerance(t *testing.T) {
 
 func TestFluidOnlyBitwise(t *testing.T) {
 	const steps = 12
-	ref := core.NewSolver(core.Config{NX: 32, NY: 16, NZ: 16, Tau: 0.8,
+	ref := core.MustNewSolver(core.Config{NX: 32, NY: 16, NZ: 16, Tau: 0.8,
 		BodyForce: [3]float64{1e-4, 0, 0}})
 	ref.Run(steps)
 	res, err := Run(Config{NX: 32, NY: 16, NZ: 16, Ranks: 4, Steps: steps, Tau: 0.8,
@@ -114,7 +114,7 @@ func TestFluidOnlyBitwise(t *testing.T) {
 
 func TestBounceBackWallsDistributed(t *testing.T) {
 	const steps = 15
-	ref := core.NewSolver(core.Config{NX: 16, NY: 8, NZ: 8, Tau: 0.8, BCZ: core.BounceBack,
+	ref := core.MustNewSolver(core.Config{NX: 16, NY: 8, NZ: 8, Tau: 0.8, BCZ: core.BounceBack,
 		BodyForce: [3]float64{1e-4, 0, 0}})
 	ref.Run(steps)
 	res, err := Run(Config{NX: 16, NY: 8, NZ: 8, Ranks: 4, Steps: steps, Tau: 0.8,

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"lbmib/internal/fiber"
@@ -129,6 +130,10 @@ type Solver struct {
 	Observer Observer
 	step     int
 
+	// bc resolves boundary streaming; built from the Config so the body
+	// is shared with the cube-layout solvers.
+	bc StreamBC
+
 	// streamDelta[i] is the flat-index offset of the e_i neighbor for
 	// interior nodes, so streaming avoids coordinate arithmetic off the
 	// boundary.
@@ -144,10 +149,27 @@ func (s *Solver) Sheet() *fiber.Sheet {
 	return s.Sheets[0]
 }
 
+// ValidateTau checks that a BGK relaxation time is stable: τ must exceed
+// 0.5 or the effective viscosity 3(τ−½) is non-positive and the collision
+// amplifies perturbations into NaNs. All solver constructors share it.
+func ValidateTau(tau float64) error {
+	if tau <= 0.5 {
+		return fmt.Errorf("tau %g must exceed 0.5 (viscosity must be positive)", tau)
+	}
+	return nil
+}
+
 // NewSolver builds a solver with the fluid at rest. An empty structure is
 // allowed and yields a pure-LBM simulation (useful for fluid-only
-// validation such as Poiseuille flow).
-func NewSolver(cfg Config) *Solver {
+// validation such as Poiseuille flow). A zero Tau defaults to 0.6; any
+// other Tau at or below 0.5 is rejected as NaN-unstable.
+func NewSolver(cfg Config) (*Solver, error) {
+	if cfg.Tau == 0 {
+		cfg.Tau = 0.6
+	}
+	if err := ValidateTau(cfg.Tau); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	s := &Solver{
 		Fluid:       grid.New(cfg.NX, cfg.NY, cfg.NZ),
 		Sheets:      cfg.AllSheets(),
@@ -157,12 +179,24 @@ func NewSolver(cfg Config) *Solver {
 		BCY:         cfg.BCY,
 		BCZ:         cfg.BCZ,
 		LidVelocity: cfg.LidVelocity,
-	}
-	if s.Tau == 0 {
-		s.Tau = 0.6
+		bc: StreamBC{
+			NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ,
+			BCX: cfg.BCX, BCY: cfg.BCY, BCZ: cfg.BCZ,
+			LidVelocity: cfg.LidVelocity,
+		},
 	}
 	for i := 0; i < lattice.Q; i++ {
 		s.streamDelta[i] = (lattice.E[i][0]*cfg.NY+lattice.E[i][1])*cfg.NZ + lattice.E[i][2]
+	}
+	return s, nil
+}
+
+// MustNewSolver is NewSolver for configurations known valid at the call
+// site (tests, hard-coded experiment setups); it panics on error.
+func MustNewSolver(cfg Config) *Solver {
+	s, err := NewSolver(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
@@ -243,22 +277,30 @@ func (s *Solver) SpreadForce() {
 }
 
 // CollideNode applies the BGK collision with Guo forcing to a single node
-// in place; shared by every solver implementation.
-func CollideNode(n *grid.Node, tau float64) {
+// in place, on the node's DF field (the present buffer of an unswapped
+// container); shared by every solver implementation.
+func CollideNode(n *grid.Node, tau float64) { CollideNodeBuf(n, tau, 0) }
+
+// CollideNodeBuf is CollideNode on distribution buffer cur — the variant
+// the swap-based engines use, where the present buffer alternates between
+// the node's two fields (see grid.Node.Buf).
+func CollideNodeBuf(n *grid.Node, tau float64, cur int) {
 	var geq, F [lattice.Q]float64
 	lattice.Equilibrium(n.Rho, n.Vel, &geq)
 	lattice.GuoForce(tau, n.Vel, n.Force, &F)
 	inv := 1 / tau
+	df := n.Buf(cur)
 	for i := 0; i < lattice.Q; i++ {
-		n.DF[i] -= inv*(n.DF[i]-geq[i]) - F[i]
+		df[i] -= inv*(df[i]-geq[i]) - F[i]
 	}
 }
 
 // ComputeCollision is kernel 5: the D3Q19 BGK collision with the elastic
 // body force applied at every fluid node, in the 19 directions of the model.
 func (s *Solver) ComputeCollision() {
+	cur := s.Fluid.Cur()
 	for i := range s.Fluid.Nodes {
-		CollideNode(&s.Fluid.Nodes[i], s.Tau)
+		CollideNodeBuf(&s.Fluid.Nodes[i], s.Tau, cur)
 	}
 }
 
@@ -276,57 +318,88 @@ func (s *Solver) StreamDistribution() {
 	}
 }
 
+// StreamBC resolves the boundary streaming of one (node, direction) pair:
+// the periodic wrap, the halfway bounce-back walls, and the moving-lid
+// momentum-exchange term (Ladd). The sequential, OpenMP-style, cube and
+// task-scheduled solvers all stream boundary nodes through the same
+// Resolve body, so the engines cannot drift apart. Lattice velocities
+// have components in {−1, 0, 1}, so wrapping needs only a
+// compare-and-add, not a modulo.
+type StreamBC struct {
+	NX, NY, NZ    int
+	BCX, BCY, BCZ BC
+	LidVelocity   [3]float64
+}
+
+// Resolve classifies the streaming of direction q from node (x, y, z)
+// whose distribution value is gi and density rho. If the move crosses a
+// bounce-back wall it returns bounce = true with the reflected value
+// refl, which the caller must store into the source node's post-streaming
+// buffer at lattice.Opposite[q]; otherwise it returns the (periodically
+// wrapped) target coordinates into whose post-streaming buffer the caller
+// stores gi at q.
+func (bc *StreamBC) Resolve(q, x, y, z int, gi, rho float64) (tx, ty, tz int, refl float64, bounce bool) {
+	tx = x + lattice.E[q][0]
+	ty = y + lattice.E[q][1]
+	tz = z + lattice.E[q][2]
+	if (bc.BCX == BounceBack && (tx < 0 || tx >= bc.NX)) ||
+		(bc.BCY == BounceBack && (ty < 0 || ty >= bc.NY)) ||
+		(bc.BCZ == BounceBack && (tz < 0 || tz >= bc.NZ)) {
+		// Halfway bounce-back: the particle returns to its node with
+		// reversed velocity. The z-max wall may move (Ladd's
+		// momentum-exchange term).
+		refl = gi
+		if bc.BCZ == BounceBack && tz >= bc.NZ && bc.LidVelocity != ([3]float64{}) {
+			eu := float64(lattice.E[q][0])*bc.LidVelocity[0] +
+				float64(lattice.E[q][1])*bc.LidVelocity[1] +
+				float64(lattice.E[q][2])*bc.LidVelocity[2]
+			refl -= 6 * lattice.W[q] * rho * eu
+		}
+		return 0, 0, 0, refl, true
+	}
+	if tx < 0 {
+		tx += bc.NX
+	} else if tx >= bc.NX {
+		tx -= bc.NX
+	}
+	if ty < 0 {
+		ty += bc.NY
+	} else if ty >= bc.NY {
+		ty -= bc.NY
+	}
+	if tz < 0 {
+		tz += bc.NZ
+	} else if tz >= bc.NZ {
+		tz -= bc.NZ
+	}
+	return tx, ty, tz, 0, false
+}
+
 // StreamNode streams the distribution of a single node; shared by the
-// parallel solvers. Lattice velocities have components in {−1, 0, 1}, so
-// periodic wrapping needs only a compare-and-add, not a modulo.
+// parallel solvers. It reads the grid's present buffer and writes the
+// post-streaming one, whichever fields those currently are.
 func (s *Solver) StreamNode(x, y, z int) {
 	g := s.Fluid
+	cur := g.Cur()
+	next := 1 - cur
 	idx := g.Idx(x, y, z)
 	src := &g.Nodes[idx]
+	srcBuf := src.Buf(cur)
 	if x > 0 && x < g.NX-1 && y > 0 && y < g.NY-1 && z > 0 && z < g.NZ-1 {
 		// Interior fast path: every neighbor exists at a fixed index
 		// offset regardless of boundary conditions.
 		for i := 0; i < lattice.Q; i++ {
-			g.Nodes[idx+s.streamDelta[i]].DFNew[i] = src.DF[i]
+			g.Nodes[idx+s.streamDelta[i]].Buf(next)[i] = srcBuf[i]
 		}
 		return
 	}
 	for i := 0; i < lattice.Q; i++ {
-		tx := x + lattice.E[i][0]
-		ty := y + lattice.E[i][1]
-		tz := z + lattice.E[i][2]
-		if (s.BCX == BounceBack && (tx < 0 || tx >= g.NX)) ||
-			(s.BCY == BounceBack && (ty < 0 || ty >= g.NY)) ||
-			(s.BCZ == BounceBack && (tz < 0 || tz >= g.NZ)) {
-			// Halfway bounce-back: the particle returns to its node with
-			// reversed velocity. The z-max wall may move (Ladd's
-			// momentum-exchange term).
-			refl := src.DF[i]
-			if s.BCZ == BounceBack && tz >= g.NZ && s.LidVelocity != ([3]float64{}) {
-				eu := float64(lattice.E[i][0])*s.LidVelocity[0] +
-					float64(lattice.E[i][1])*s.LidVelocity[1] +
-					float64(lattice.E[i][2])*s.LidVelocity[2]
-				refl -= 6 * lattice.W[i] * src.Rho * eu
-			}
-			src.DFNew[lattice.Opposite[i]] = refl
+		tx, ty, tz, refl, bounce := s.bc.Resolve(i, x, y, z, srcBuf[i], src.Rho)
+		if bounce {
+			src.Buf(next)[lattice.Opposite[i]] = refl
 			continue
 		}
-		if tx < 0 {
-			tx += g.NX
-		} else if tx >= g.NX {
-			tx -= g.NX
-		}
-		if ty < 0 {
-			ty += g.NY
-		} else if ty >= g.NY {
-			ty -= g.NY
-		}
-		if tz < 0 {
-			tz += g.NZ
-		} else if tz >= g.NZ {
-			tz -= g.NZ
-		}
-		g.Nodes[g.Idx(tx, ty, tz)].DFNew[i] = src.DF[i]
+		g.Nodes[g.Idx(tx, ty, tz)].Buf(next)[i] = srcBuf[i]
 	}
 }
 
@@ -334,15 +407,21 @@ func (s *Solver) StreamNode(x, y, z int) {
 // velocity from the post-streaming distribution and the elastic force
 // (half-force Guo correction).
 func (s *Solver) UpdateVelocity() {
+	next := 1 - s.Fluid.Cur()
 	for i := range s.Fluid.Nodes {
-		UpdateVelocityNode(&s.Fluid.Nodes[i])
+		UpdateVelocityNodeBuf(&s.Fluid.Nodes[i], next)
 	}
 }
 
-// UpdateVelocityNode updates the macroscopic state of one node from DFNew;
+// UpdateVelocityNode updates the macroscopic state of one node from its
+// DFNew field (the post-streaming buffer of an unswapped container);
 // shared by the parallel solvers.
-func UpdateVelocityNode(n *grid.Node) {
-	n.Rho = lattice.Moments(&n.DFNew, n.Force, &n.Vel)
+func UpdateVelocityNode(n *grid.Node) { UpdateVelocityNodeBuf(n, 1) }
+
+// UpdateVelocityNodeBuf is UpdateVelocityNode reading post-streaming
+// buffer next — the variant the swap-based engines use.
+func UpdateVelocityNodeBuf(n *grid.Node, next int) {
+	n.Rho = lattice.Moments(n.Buf(next), n.Force, &n.Vel)
 }
 
 // MoveFibers is kernel 8: each fiber node's velocity is interpolated from
@@ -372,9 +451,15 @@ func MoveSheetNodes(v ibm.VelocitySampler, sh *fiber.Sheet, lo, hi int) {
 }
 
 // CopyDistribution is kernel 9: it copies the new velocity distribution
-// buffer into the present buffer so DFNew can be reused next step.
+// buffer into the present buffer so DFNew can be reused next step. The
+// sequential reference keeps this copy exactly as the paper publishes it
+// (Table I prices it at ~6% of a step); the parallel engines retire it
+// with an O(1) buffer swap instead (see internal/cubesolver and
+// internal/omp).
 func (s *Solver) CopyDistribution() {
+	cur := s.Fluid.Cur()
 	for i := range s.Fluid.Nodes {
-		s.Fluid.Nodes[i].DF = s.Fluid.Nodes[i].DFNew
+		n := &s.Fluid.Nodes[i]
+		*n.Buf(cur) = *n.Buf(1 - cur)
 	}
 }

@@ -22,7 +22,7 @@ func smallSheet() *fiber.Sheet {
 }
 
 func TestRestStateIsFixedPoint(t *testing.T) {
-	s := NewSolver(Config{NX: 6, NY: 6, NZ: 6, Tau: 0.7})
+	s := MustNewSolver(Config{NX: 6, NY: 6, NZ: 6, Tau: 0.7})
 	s.Run(3)
 	for i := range s.Fluid.Nodes {
 		n := &s.Fluid.Nodes[i]
@@ -38,7 +38,7 @@ func TestRestStateIsFixedPoint(t *testing.T) {
 }
 
 func TestUniformFlowIsFixedPointPeriodic(t *testing.T) {
-	s := NewSolver(Config{NX: 5, NY: 4, NZ: 6, Tau: 0.8})
+	s := MustNewSolver(Config{NX: 5, NY: 4, NZ: 6, Tau: 0.8})
 	u0 := [3]float64{0.04, -0.02, 0.01}
 	s.Fluid.Reset(1, u0)
 	s.Run(4)
@@ -53,7 +53,7 @@ func TestUniformFlowIsFixedPointPeriodic(t *testing.T) {
 }
 
 func TestMassConservedPeriodic(t *testing.T) {
-	s := NewSolver(Config{NX: 8, NY: 8, NZ: 8, Tau: 0.6, Sheet: smallSheet(),
+	s := MustNewSolver(Config{NX: 8, NY: 8, NZ: 8, Tau: 0.6, Sheet: smallSheet(),
 		BodyForce: [3]float64{1e-5, 0, 0}})
 	m0 := s.Fluid.TotalMass()
 	s.Run(25)
@@ -64,7 +64,7 @@ func TestMassConservedPeriodic(t *testing.T) {
 }
 
 func TestMassConservedBounceBack(t *testing.T) {
-	s := NewSolver(Config{NX: 6, NY: 6, NZ: 8, Tau: 0.8, BCZ: BounceBack,
+	s := MustNewSolver(Config{NX: 6, NY: 6, NZ: 8, Tau: 0.8, BCZ: BounceBack,
 		BodyForce: [3]float64{1e-5, 0, 0}})
 	m0 := s.Fluid.TotalMass()
 	s.Run(30)
@@ -78,7 +78,7 @@ func TestMassConservedBounceBack(t *testing.T) {
 func TestForcingMomentumInput(t *testing.T) {
 	tau := 0.75
 	f := [3]float64{2e-4, -1e-4, 5e-5}
-	s := NewSolver(Config{NX: 5, NY: 5, NZ: 5, Tau: tau, BodyForce: f})
+	s := MustNewSolver(Config{NX: 5, NY: 5, NZ: 5, Tau: tau, BodyForce: f})
 	s.Step()
 	m := s.Fluid.TotalMomentum()
 	n := float64(s.Fluid.NumNodes())
@@ -97,7 +97,7 @@ func TestForcingMomentumInput(t *testing.T) {
 func TestForcedVelocityAfterOneStep(t *testing.T) {
 	tau := 0.8
 	fx := 3e-4
-	s := NewSolver(Config{NX: 4, NY: 4, NZ: 4, Tau: tau, BodyForce: [3]float64{fx, 0, 0}})
+	s := MustNewSolver(Config{NX: 4, NY: 4, NZ: 4, Tau: tau, BodyForce: [3]float64{fx, 0, 0}})
 	s.Step()
 	want := (1 - 1/(2*tau) + 0.5) * fx // per unit density
 	for i := range s.Fluid.Nodes {
@@ -118,7 +118,7 @@ func TestPoiseuilleProfile(t *testing.T) {
 	nz := 9
 	tau := 0.9
 	g := 1e-5
-	s := NewSolver(Config{NX: 4, NY: 4, NZ: nz, Tau: tau, BCZ: BounceBack,
+	s := MustNewSolver(Config{NX: 4, NY: 4, NZ: nz, Tau: tau, BCZ: BounceBack,
 		BodyForce: [3]float64{g, 0, 0}})
 	nu := lattice.ViscosityFromTau(tau)
 	// Run to steady state: diffusion time ≈ NZ²/ν.
@@ -140,7 +140,7 @@ func TestShearWaveDecayRate(t *testing.T) {
 	n := 16
 	tau := 0.8
 	nu := lattice.ViscosityFromTau(tau)
-	s := NewSolver(Config{NX: n, NY: 4, NZ: 4, Tau: tau})
+	s := MustNewSolver(Config{NX: n, NY: 4, NZ: 4, Tau: tau})
 	amp := 1e-3
 	k := 2 * math.Pi / float64(n)
 	// Initialize u_y(x) = amp·sin(kx) via equilibrium distributions.
@@ -176,7 +176,7 @@ func TestShearWaveDecayRate(t *testing.T) {
 
 func TestSheetInShearStaysBoundedAndMoves(t *testing.T) {
 	sh := smallSheet()
-	s := NewSolver(Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: sh,
+	s := MustNewSolver(Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: sh,
 		BodyForce: [3]float64{5e-5, 0, 0}})
 	c0 := sh.Centroid()
 	s.Run(60)
@@ -199,7 +199,7 @@ func TestSheetInShearStaysBoundedAndMoves(t *testing.T) {
 func TestFixedNodesDoNotMove(t *testing.T) {
 	sh := smallSheet()
 	sh.FixRegion(1.2)
-	s := NewSolver(Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: sh,
+	s := MustNewSolver(Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: sh,
 		BodyForce: [3]float64{1e-4, 0, 0}})
 	var fixedIdx []int
 	orig := map[int]fiber.Vec3{}
@@ -239,7 +239,7 @@ func TestSheetForcesFluid(t *testing.T) {
 	for i := range sh.X {
 		sh.X[i][0] += 0.3 * math.Sin(float64(i))
 	}
-	s := NewSolver(Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: sh})
+	s := MustNewSolver(Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: sh})
 	s.Run(2)
 	if v := s.Fluid.MaxVelocity(); v == 0 {
 		t.Fatal("deformed sheet imparted no motion to the fluid")
@@ -260,7 +260,7 @@ func (r *recordObserver) KernelDone(step int, k Kernel, d time.Duration) {
 }
 
 func TestObserverSeesAllNineKernels(t *testing.T) {
-	s := NewSolver(Config{NX: 6, NY: 6, NZ: 6, Tau: 0.7, Sheet: smallSheet()})
+	s := MustNewSolver(Config{NX: 6, NY: 6, NZ: 6, Tau: 0.7, Sheet: smallSheet()})
 	obs := &recordObserver{}
 	s.Observer = obs
 	s.Run(3)
@@ -292,7 +292,7 @@ func TestKernelNames(t *testing.T) {
 }
 
 func TestStepCount(t *testing.T) {
-	s := NewSolver(Config{NX: 4, NY: 4, NZ: 4})
+	s := MustNewSolver(Config{NX: 4, NY: 4, NZ: 4})
 	s.Run(7)
 	if s.StepCount() != 7 {
 		t.Fatalf("StepCount = %d, want 7", s.StepCount())
@@ -300,7 +300,7 @@ func TestStepCount(t *testing.T) {
 }
 
 func TestDefaultTau(t *testing.T) {
-	s := NewSolver(Config{NX: 4, NY: 4, NZ: 4})
+	s := MustNewSolver(Config{NX: 4, NY: 4, NZ: 4})
 	if s.Tau != 0.6 {
 		t.Fatalf("default tau = %g, want 0.6", s.Tau)
 	}
@@ -308,7 +308,7 @@ func TestDefaultTau(t *testing.T) {
 
 // Kernel 9 must make DF equal DFNew exactly.
 func TestCopyDistribution(t *testing.T) {
-	s := NewSolver(Config{NX: 4, NY: 4, NZ: 4, Tau: 0.7, BodyForce: [3]float64{1e-4, 0, 0}})
+	s := MustNewSolver(Config{NX: 4, NY: 4, NZ: 4, Tau: 0.7, BodyForce: [3]float64{1e-4, 0, 0}})
 	s.SpreadForce()
 	s.ComputeCollision()
 	s.StreamDistribution()
@@ -324,7 +324,7 @@ func TestCopyDistribution(t *testing.T) {
 // Streaming must be a pure permutation of distribution values under
 // periodic boundaries: the multiset of values per direction is preserved.
 func TestStreamingIsPermutation(t *testing.T) {
-	s := NewSolver(Config{NX: 4, NY: 3, NZ: 5, Tau: 0.7})
+	s := MustNewSolver(Config{NX: 4, NY: 3, NZ: 5, Tau: 0.7})
 	// Give every node a unique distribution signature.
 	for i := range s.Fluid.Nodes {
 		for q := 0; q < lattice.Q; q++ {
@@ -351,10 +351,28 @@ func TestStreamingIsPermutation(t *testing.T) {
 }
 
 func BenchmarkSequentialStep16(b *testing.B) {
-	s := NewSolver(Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: smallSheet(),
+	s := MustNewSolver(Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: smallSheet(),
 		BodyForce: [3]float64{1e-5, 0, 0}})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+func TestNewSolverRejectsBadTau(t *testing.T) {
+	// The BGK stability bound: tau <= 0.5 means negative (or infinite)
+	// viscosity, which previously slipped through silently.
+	for _, tau := range []float64{0.5, 0.49, 0.1, -1} {
+		if _, err := NewSolver(Config{NX: 4, NY: 4, NZ: 4, Tau: tau}); err == nil {
+			t.Fatalf("tau=%g accepted", tau)
+		}
+	}
+	// Tau == 0 selects the documented default and must succeed.
+	s, err := NewSolver(Config{NX: 4, NY: 4, NZ: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tau != 0.6 {
+		t.Fatalf("default tau = %g, want 0.6", s.Tau)
 	}
 }

@@ -21,6 +21,11 @@ type Layout struct {
 	NX, NY, NZ int // fluid grid dimensions
 	CX, CY, CZ int // cube-grid dimensions (NX/K, NY/K, NZ/K)
 	Nodes      []grid.Node
+
+	// cur is the distribution-buffer parity (see grid.Grid): node i's
+	// present buffer is Nodes[i].Buf(cur). The swap-based cube solver
+	// flips it once per step instead of running kernel 9's copy loop.
+	cur int
 }
 
 // NewLayout tiles an nx×ny×nz grid into cubes of edge k. Every dimension
@@ -57,7 +62,16 @@ func (l *Layout) Reset(rho float64, u [3]float64) {
 		n.Vel = u
 		n.Force = [3]float64{}
 	}
+	l.cur = 0
 }
+
+// Cur returns the distribution-buffer parity: node i's present buffer is
+// Nodes[i].Buf(Cur()).
+func (l *Layout) Cur() int { return l.cur }
+
+// Swap flips the buffer parity so the post-streaming buffer becomes the
+// present one — the O(1) replacement for kernel 9's per-node copy.
+func (l *Layout) Swap() { l.cur ^= 1 }
 
 // NumCubes returns the number of cubes.
 func (l *Layout) NumCubes() int { return l.CX * l.CY * l.CZ }
@@ -138,24 +152,38 @@ func (l *Layout) FromGrid(g *grid.Grid) error {
 		return fmt.Errorf("cube: dimension mismatch %d×%d×%d vs %d×%d×%d",
 			g.NX, g.NY, g.NZ, l.NX, l.NY, l.NZ)
 	}
+	swapped := g.Cur() == 1
 	for x := 0; x < l.NX; x++ {
 		for y := 0; y < l.NY; y++ {
 			for z := 0; z < l.NZ; z++ {
-				l.Nodes[l.Idx(x, y, z)] = g.Nodes[g.Idx(x, y, z)]
+				n := g.Nodes[g.Idx(x, y, z)]
+				if swapped {
+					n.DF, n.DFNew = n.DFNew, n.DF
+				}
+				l.Nodes[l.Idx(x, y, z)] = n
 			}
 		}
 	}
+	l.cur = 0
 	return nil
 }
 
 // ToGrid copies the cube layout's state into a freshly allocated
-// slab-layout grid, used by the validation harness to compare solvers.
+// slab-layout grid, used by the validation harness to compare solvers and
+// by the checkpoint machinery. The result is always normalized (present
+// buffer in the DF field) regardless of the layout's parity, so snapshots
+// stay engine-independent.
 func (l *Layout) ToGrid() *grid.Grid {
 	g := grid.New(l.NX, l.NY, l.NZ)
+	swapped := l.cur == 1
 	for x := 0; x < l.NX; x++ {
 		for y := 0; y < l.NY; y++ {
 			for z := 0; z < l.NZ; z++ {
-				g.Nodes[g.Idx(x, y, z)] = l.Nodes[l.Idx(x, y, z)]
+				n := l.Nodes[l.Idx(x, y, z)]
+				if swapped {
+					n.DF, n.DFNew = n.DFNew, n.DF
+				}
+				g.Nodes[g.Idx(x, y, z)] = n
 			}
 		}
 	}
@@ -166,7 +194,7 @@ func (l *Layout) ToGrid() *grid.Grid {
 func (l *Layout) TotalMass() float64 {
 	sum := 0.0
 	for i := range l.Nodes {
-		for _, v := range l.Nodes[i].DF {
+		for _, v := range l.Nodes[i].Buf(l.cur) {
 			sum += v
 		}
 	}

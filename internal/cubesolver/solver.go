@@ -58,14 +58,14 @@ const (
 	PhaseCollideStream                   // 2nd loop: kernels 5–6 on owned cubes
 	PhaseUpdateVelocity                  // 3rd loop: kernel 7 on owned cubes
 	PhaseMoveFibers                      // 4th loop: kernel 8 on owned fibers
-	PhaseCopy                            // 5th loop: kernel 9 (+ force reset) on owned cubes
+	PhaseCopy                            // 5th loop: kernel 9, retired to an O(1) buffer swap
 )
 
 // NumPhases is the number of loop nests per time step.
 const NumPhases = 5
 
 var phaseNames = [NumPhases + 1]string{
-	"", "fiber_force_spread", "collide_stream", "update_velocity", "move_fibers", "copy_distribution",
+	"", "fiber_force_spread", "collide_stream", "update_velocity", "move_fibers", "swap_distribution",
 }
 
 // String names the phase.
@@ -99,6 +99,10 @@ type Config struct {
 	Dist        par.Dist       // cube2thread / fiber2thread policy (default Block)
 	BlockSize   int            // block-cyclic block size
 	Barriers    BarrierSchedule
+	// LegacyCopy restores the paper's kernel 9 (the per-node buffer copy
+	// loop) instead of the O(1) buffer swap — kept for the copy-vs-swap
+	// ablation; results are bitwise identical either way.
+	LegacyCopy bool
 }
 
 // Solver is the cube-centric parallel LBM-IB solver.
@@ -114,8 +118,13 @@ type Solver struct {
 	Map         par.CubeMap
 	FiberDist   par.Dist
 	Barriers    BarrierSchedule
+	LegacyCopy  bool
 
 	Observer PhaseObserver
+
+	// bc resolves boundary streaming with the body shared across engines
+	// (core.StreamBC), so the cube solver cannot drift from the reference.
+	bc core.StreamBC
 
 	team       *par.Team
 	barrier    *par.Barrier
@@ -142,8 +151,8 @@ func NewSolver(cfg Config) (*Solver, error) {
 	if cfg.Tau == 0 {
 		cfg.Tau = 0.6
 	}
-	if cfg.Tau <= 0.5 {
-		return nil, fmt.Errorf("cubesolver: tau %g must exceed 0.5", cfg.Tau)
+	if err := core.ValidateTau(cfg.Tau); err != nil {
+		return nil, fmt.Errorf("cubesolver: %w", err)
 	}
 	s := &Solver{
 		Fluid:       layout,
@@ -160,6 +169,12 @@ func NewSolver(cfg Config) (*Solver, error) {
 		},
 		FiberDist:  cfg.Dist,
 		Barriers:   cfg.Barriers,
+		LegacyCopy: cfg.LegacyCopy,
+		bc: core.StreamBC{
+			NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ,
+			BCX: cfg.BCX, BCY: cfg.BCY, BCZ: cfg.BCZ,
+			LidVelocity: cfg.LidVelocity,
+		},
 		team:       par.NewTeam(cfg.Threads),
 		barrier:    par.NewBarrier(cfg.Threads),
 		ownerLocks: make([]sync.Mutex, cfg.Threads),
@@ -169,11 +184,21 @@ func NewSolver(cfg Config) (*Solver, error) {
 		s.streamDelta[i] = (lattice.E[i][0]*k+lattice.E[i][1])*k + lattice.E[i][2]
 	}
 	// Kernel 4 accumulates on top of the previous step's reset; seed the
-	// initial body force the same way loop 5 will maintain it.
-	for i := range s.Fluid.Nodes {
-		s.Fluid.Nodes[i].Force = s.BodyForce
-	}
+	// initial body force the same way the update-velocity loop will
+	// maintain it.
+	s.SeedForce()
 	return s, nil
+}
+
+// SeedForce initializes every node's force to the uniform body force —
+// the between-steps invariant the update-velocity loop maintains. It must
+// be called after loading external state into the fluid layout (e.g. a
+// checkpoint) because spreading accumulates on top of this reset.
+func (s *Solver) SeedForce() {
+	body := s.BodyForce
+	for i := range s.Fluid.Nodes {
+		s.Fluid.Nodes[i].Force = body
+	}
 }
 
 // Sheet returns the first immersed sheet (nil without a structure).
@@ -243,7 +268,12 @@ func (s *Solver) timeStep(step, tid int) {
 		s.barrier.Wait()
 	}
 
-	// 5th loop: kernel 9 (+ force reset for the next step) on owned cubes.
+	// 5th loop: kernel 9. Retired by default: thread 0 flips the layout's
+	// buffer parity in O(1) and everyone else's loop body is empty (each
+	// thread still reports the phase to its observer). The preceding
+	// barrier orders the flip after every thread's kernel-7 reads, and the
+	// end-of-step barrier publishes it before any thread's next step. With
+	// LegacyCopy every thread copies its owned cubes as published.
 	phase(PhaseCopy, func() { s.copyLoop(tid) })
 	s.barrier.Wait() // end-of-step barrier (paper's 3rd)
 }
@@ -361,8 +391,9 @@ func (s *Solver) forOwnedCubes(tid int, fn func(c int)) {
 // locality argument is about.
 func (s *Solver) collideCube(c int) {
 	nodes := s.Fluid.CubeNodes(c)
+	cur := s.Fluid.Cur()
 	for i := range nodes {
-		core.CollideNode(&nodes[i], s.Tau)
+		core.CollideNodeBuf(&nodes[i], s.Tau, cur)
 	}
 }
 
@@ -386,62 +417,44 @@ func (s *Solver) streamCube(c int) {
 
 func (s *Solver) streamNode(x, y, z int) {
 	l := s.Fluid
+	cur := l.Cur()
+	next := 1 - cur
 	idx := l.Idx(x, y, z)
 	src := &l.Nodes[idx]
+	srcBuf := src.Buf(cur)
 	k := l.K
 	lx, ly, lz := x%k, y%k, z%k
 	if lx > 0 && lx < k-1 && ly > 0 && ly < k-1 && lz > 0 && lz < k-1 {
 		// Strictly inside the cube: every neighbor lives in the same
 		// contiguous block at a fixed offset.
 		for i := 0; i < lattice.Q; i++ {
-			l.Nodes[idx+s.streamDelta[i]].DFNew[i] = src.DF[i]
+			l.Nodes[idx+s.streamDelta[i]].Buf(next)[i] = srcBuf[i]
 		}
 		return
 	}
 	for i := 0; i < lattice.Q; i++ {
-		tx := x + lattice.E[i][0]
-		ty := y + lattice.E[i][1]
-		tz := z + lattice.E[i][2]
-		if (s.BCX == core.BounceBack && (tx < 0 || tx >= l.NX)) ||
-			(s.BCY == core.BounceBack && (ty < 0 || ty >= l.NY)) ||
-			(s.BCZ == core.BounceBack && (tz < 0 || tz >= l.NZ)) {
-			refl := src.DF[i]
-			if s.BCZ == core.BounceBack && tz >= l.NZ && s.LidVelocity != ([3]float64{}) {
-				eu := float64(lattice.E[i][0])*s.LidVelocity[0] +
-					float64(lattice.E[i][1])*s.LidVelocity[1] +
-					float64(lattice.E[i][2])*s.LidVelocity[2]
-				refl -= 6 * lattice.W[i] * src.Rho * eu
-			}
-			src.DFNew[lattice.Opposite[i]] = refl
+		tx, ty, tz, refl, bounce := s.bc.Resolve(i, x, y, z, srcBuf[i], src.Rho)
+		if bounce {
+			src.Buf(next)[lattice.Opposite[i]] = refl
 			continue
 		}
-		// Lattice velocity components are in {−1, 0, 1}: wrap by
-		// compare-and-add instead of modulo.
-		if tx < 0 {
-			tx += l.NX
-		} else if tx >= l.NX {
-			tx -= l.NX
-		}
-		if ty < 0 {
-			ty += l.NY
-		} else if ty >= l.NY {
-			ty -= l.NY
-		}
-		if tz < 0 {
-			tz += l.NZ
-		} else if tz >= l.NZ {
-			tz -= l.NZ
-		}
-		l.Nodes[l.Idx(tx, ty, tz)].DFNew[i] = src.DF[i]
+		l.Nodes[l.Idx(tx, ty, tz)].Buf(next)[i] = srcBuf[i]
 	}
 }
 
-// updateVelocityLoop runs kernel 7 over owned cubes.
+// updateVelocityLoop runs kernel 7 over owned cubes. After a node's
+// moments are computed (they read the elastic force for the half-force
+// correction) its force is reset to the uniform body force — the reset
+// the paper's loop 5 performed, folded here so the retired copy loop
+// leaves nothing behind.
 func (s *Solver) updateVelocityLoop(tid int) {
+	next := 1 - s.Fluid.Cur()
+	body := s.BodyForce
 	s.forOwnedCubes(tid, func(c int) {
 		nodes := s.Fluid.CubeNodes(c)
 		for i := range nodes {
-			core.UpdateVelocityNode(&nodes[i])
+			core.UpdateVelocityNodeBuf(&nodes[i], next)
+			nodes[i].Force = body
 		}
 	})
 }
@@ -460,15 +473,23 @@ func (s *Solver) moveFibersLoop(tid int) {
 	}
 }
 
-// copyLoop runs kernel 9 over owned cubes and resets the force field to
-// the uniform body force, ready for the next step's spreading.
+// copyLoop is the 5th loop. By default kernel 9 is retired: only thread 0
+// does anything, flipping the layout's buffer parity in O(1); the force
+// reset that used to ride along lives in updateVelocityLoop. With
+// LegacyCopy every thread runs the published per-node copy over its owned
+// cubes instead.
 func (s *Solver) copyLoop(tid int) {
-	body := s.BodyForce
+	if !s.LegacyCopy {
+		if tid == 0 {
+			s.Fluid.Swap()
+		}
+		return
+	}
+	cur := s.Fluid.Cur()
 	s.forOwnedCubes(tid, func(c int) {
 		nodes := s.Fluid.CubeNodes(c)
 		for i := range nodes {
-			nodes[i].DF = nodes[i].DFNew
-			nodes[i].Force = body
+			*nodes[i].Buf(cur) = *nodes[i].Buf(1 - cur)
 		}
 	})
 }

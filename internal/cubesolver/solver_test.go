@@ -39,7 +39,7 @@ func cubeConfig(sheet *fiber.Sheet, threads, k int) Config {
 // sequential solver for any thread count, cube size and distribution.
 func TestMatchesSequential(t *testing.T) {
 	const steps = 12
-	ref := core.NewSolver(refConfig(testSheet()))
+	ref := core.MustNewSolver(refConfig(testSheet()))
 	ref.Run(steps)
 
 	for _, threads := range []int{1, 2, 4, 8} {
@@ -70,7 +70,7 @@ func TestMatchesSequential(t *testing.T) {
 
 func TestDistributionsMatchSequential(t *testing.T) {
 	const steps = 8
-	ref := core.NewSolver(refConfig(testSheet()))
+	ref := core.MustNewSolver(refConfig(testSheet()))
 	ref.Run(steps)
 	for _, d := range []par.Dist{par.Block, par.Cyclic, par.BlockCyclic} {
 		cfg := cubeConfig(testSheet(), 4, 4)
@@ -119,7 +119,7 @@ func TestBarrierSchedulesAgree(t *testing.T) {
 
 func TestSingleThreadBitwiseEqualsSequential(t *testing.T) {
 	const steps = 8
-	ref := core.NewSolver(refConfig(testSheet()))
+	ref := core.MustNewSolver(refConfig(testSheet()))
 	ref.Run(steps)
 	s, err := NewSolver(cubeConfig(testSheet(), 1, 4))
 	if err != nil {
@@ -143,7 +143,7 @@ func TestSingleThreadBitwiseEqualsSequential(t *testing.T) {
 func TestBounceBackMatchesSequential(t *testing.T) {
 	refCfg := core.Config{NX: 8, NY: 8, NZ: 8, Tau: 0.8, BCZ: core.BounceBack,
 		BodyForce: [3]float64{1e-4, 0, 0}}
-	ref := core.NewSolver(refCfg)
+	ref := core.MustNewSolver(refCfg)
 	ref.Run(15)
 	s, err := NewSolver(Config{NX: 8, NY: 8, NZ: 8, CubeSize: 4, Threads: 4, Tau: 0.8,
 		BCZ: core.BounceBack, BodyForce: [3]float64{1e-4, 0, 0}})
@@ -206,7 +206,7 @@ func TestPhaseNames(t *testing.T) {
 		PhaseCollideStream:  "collide_stream",
 		PhaseUpdateVelocity: "update_velocity",
 		PhaseMoveFibers:     "move_fibers",
-		PhaseCopy:           "copy_distribution",
+		PhaseCopy:           "swap_distribution",
 	}
 	for p, n := range want {
 		if p.String() != n {
@@ -255,7 +255,7 @@ func TestFixedNodesMatchSequential(t *testing.T) {
 		sh.FixRegion(1.5)
 		return sh
 	}
-	ref := core.NewSolver(refConfig(mk()))
+	ref := core.MustNewSolver(refConfig(mk()))
 	ref.Run(10)
 	s, err := NewSolver(cubeConfig(mk(), 4, 4))
 	if err != nil {
@@ -281,5 +281,119 @@ func BenchmarkCubeStep16k4(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Step()
+	}
+}
+
+// A moving-lid cavity with an immersed sheet exercises the Ladd
+// bounce-back correction through the swap-based streaming path. One
+// thread keeps the force accumulation order sequential, so the match
+// must be bitwise on the distributions.
+func TestMovingLidFSIBitwiseSequential(t *testing.T) {
+	mkRef := func() core.Config {
+		cfg := refConfig(testSheet())
+		cfg.BodyForce = [3]float64{0, 0, 0}
+		cfg.BCZ = core.BounceBack
+		cfg.LidVelocity = [3]float64{0.03, 0, 0}
+		return cfg
+	}
+	const steps = 15
+	ref := core.MustNewSolver(mkRef())
+	ref.Run(steps)
+	cfg := cubeConfig(testSheet(), 1, 4)
+	cfg.BodyForce = [3]float64{0, 0, 0}
+	cfg.BCZ = core.BounceBack
+	cfg.LidVelocity = [3]float64{0.03, 0, 0}
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(steps)
+	g := s.Fluid.ToGrid()
+	for i := range ref.Fluid.Nodes {
+		if *ref.Fluid.Nodes[i].Buf(ref.Fluid.Cur()) != g.Nodes[i].DF {
+			t.Fatalf("node %d DF differs bitwise under the moving lid", i)
+		}
+	}
+	for i := range ref.Sheet().X {
+		if ref.Sheet().X[i] != s.Sheet().X[i] {
+			t.Fatalf("fiber node %d position differs bitwise", i)
+		}
+	}
+}
+
+// Pins the corner node adjacent to the moving lid — the spot where the
+// shared boundary resolver must apply the periodic wrap in x and y AND
+// the Ladd lid correction in z in the same stream. Fluid-only, so the
+// 4-thread run is deterministic and the pin can be bitwise.
+func TestMovingLidCornerNodeBitwise(t *testing.T) {
+	mk := core.Config{
+		NX: 8, NY: 8, NZ: 8, Tau: 0.8, BCZ: core.BounceBack,
+		BodyForce:   [3]float64{1e-4, 0, 0},
+		LidVelocity: [3]float64{0.05, 0.01, 0},
+	}
+	const steps = 20
+	ref := core.MustNewSolver(mk)
+	ref.Run(steps)
+	s, err := NewSolver(Config{
+		NX: 8, NY: 8, NZ: 8, CubeSize: 4, Threads: 4, Tau: 0.8,
+		BCZ: core.BounceBack, BodyForce: [3]float64{1e-4, 0, 0},
+		LidVelocity: [3]float64{0.05, 0.01, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(steps)
+	g := s.Fluid.ToGrid()
+	corner := ref.Fluid.Idx(0, 0, 7) // touches the lid, wraps in x and y
+	if *ref.Fluid.Nodes[corner].Buf(ref.Fluid.Cur()) != g.Nodes[corner].DF {
+		t.Fatalf("corner node under the lid differs bitwise:\nseq  %v\ncube %v",
+			ref.Fluid.Nodes[corner].DF, g.Nodes[corner].DF)
+	}
+	if ref.Fluid.Nodes[corner].Vel != g.Nodes[corner].Vel {
+		t.Fatal("corner node velocity differs under the lid")
+	}
+	// And the full grid, while we are here.
+	for i := range ref.Fluid.Nodes {
+		if *ref.Fluid.Nodes[i].Buf(ref.Fluid.Cur()) != g.Nodes[i].DF {
+			t.Fatalf("node %d DF differs bitwise", i)
+		}
+	}
+}
+
+// The O(1) parity swap must be arithmetically invisible: a run with the
+// legacy per-node copy (kernel 9 as published) and a swap run must agree
+// bitwise on every distribution.
+func TestLegacyCopyBitwiseEqualsSwap(t *testing.T) {
+	mk := func(legacy bool) *Solver {
+		s, err := NewSolver(Config{
+			NX: 16, NY: 16, NZ: 16, CubeSize: 4, Threads: 4, Tau: 0.7,
+			BCZ: core.BounceBack, BodyForce: [3]float64{3e-5, 0, 0},
+			LidVelocity: [3]float64{0.02, 0, 0},
+			LegacyCopy:  legacy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	const steps = 11 // odd, so the swap run ends on flipped parity
+	a, b := mk(false), mk(true)
+	defer a.Close()
+	defer b.Close()
+	a.Run(steps)
+	b.Run(steps)
+	if a.Fluid.Cur() == b.Fluid.Cur() {
+		t.Fatal("swap run should end on flipped parity after odd steps")
+	}
+	ga, gb := a.Fluid.ToGrid(), b.Fluid.ToGrid()
+	for i := range ga.Nodes {
+		if ga.Nodes[i].DF != gb.Nodes[i].DF {
+			t.Fatalf("node %d DF differs bitwise between swap and legacy copy", i)
+		}
+		if ga.Nodes[i].Vel != gb.Nodes[i].Vel {
+			t.Fatalf("node %d velocity differs between swap and legacy copy", i)
+		}
 	}
 }

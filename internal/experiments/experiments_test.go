@@ -6,6 +6,7 @@ import (
 
 	"lbmib/internal/core"
 	"lbmib/internal/par"
+	"lbmib/internal/telemetry"
 )
 
 // The experiment drivers replay multi-second cache traces; run them once
@@ -285,5 +286,34 @@ func TestAblationSchedule(t *testing.T) {
 	}
 	if !strings.Contains(r.Render(), "dynamic") {
 		t.Fatal("render broken")
+	}
+}
+
+func TestAblationCopySwapEngines(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r, err := AblationCopySwapEngines(Options{Steps: 3}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want omp/cube × copy/swap", len(r.Rows))
+	}
+	for _, eng := range []string{"omp", "cube"} {
+		for _, mode := range []string{"copy", "swap"} {
+			row := r.row(eng, mode)
+			if row == nil || row.MLUPS <= 0 {
+				t.Fatalf("missing or empty row %s/%s", eng, mode)
+			}
+		}
+	}
+	var dump strings.Builder
+	if err := reg.WritePrometheus(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump.String(), `lbmib_ablation_copyswap_mlups{engine="cube",mode="swap"}`) {
+		t.Fatal("copyswap gauge missing from the registry exposition")
+	}
+	if !strings.Contains(r.Render(), "kernel 9 retirement") {
+		t.Fatal("render missing headline")
 	}
 }

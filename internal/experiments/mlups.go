@@ -76,7 +76,11 @@ func MLUPS(opt Options, reg *telemetry.Registry) (MLUPSResult, error) {
 	if err := measure("sequential", 1, func() error {
 		cfg := coreCfg
 		cfg.Sheet = sheet()
-		core.NewSolver(cfg).Run(steps)
+		s, err := core.NewSolver(cfg)
+		if err != nil {
+			return err
+		}
+		s.Run(steps)
 		return nil
 	}); err != nil {
 		return res, err
@@ -84,7 +88,10 @@ func MLUPS(opt Options, reg *telemetry.Registry) (MLUPSResult, error) {
 	if err := measure("omp", threads, func() error {
 		cfg := coreCfg
 		cfg.Sheet = sheet()
-		s := omp.NewSolver(omp.Config{Config: cfg, Threads: threads})
+		s, err := omp.NewSolver(omp.Config{Config: cfg, Threads: threads})
+		if err != nil {
+			return err
+		}
 		defer s.Close()
 		s.Run(steps)
 		return nil

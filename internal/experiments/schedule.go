@@ -34,13 +34,16 @@ func AblationSchedule(opt Options) (ScheduleResult, error) {
 		{"dynamic-4", omp.Dynamic, 4},
 	} {
 		sheet := opt.sheet52([3]int{32, 32, 32})
-		s := omp.NewSolver(omp.Config{
+		s, err := omp.NewSolver(omp.Config{
 			Config: core.Config{
 				NX: 32, NY: 32, NZ: 32, Tau: 0.7,
 				BodyForce: [3]float64{1e-5, 0, 0}, Sheet: sheet,
 			},
 			Threads: 4, Schedule: cfg.sched, Chunk: cfg.chunk,
 		})
+		if err != nil {
+			return res, err
+		}
 		const steps = 5
 		best := time.Duration(1 << 62)
 		for rep := 0; rep < 3; rep++ {

@@ -38,11 +38,14 @@ type Table1Result struct {
 func Table1(opt Options) (Table1Result, error) {
 	nx, ny, nz, steps := opt.table1Grid()
 	sheet := opt.sheet52([3]int{nx, ny, nz})
-	s := core.NewSolver(core.Config{
+	s, err := core.NewSolver(core.Config{
 		NX: nx, NY: ny, NZ: nz, Tau: 0.7,
 		BodyForce: [3]float64{2e-5, 0, 0},
 		Sheet:     sheet,
 	})
+	if err != nil {
+		return Table1Result{}, err
+	}
 	prof := &perfmon.KernelProfile{}
 	s.Observer = prof
 	s.Run(steps)

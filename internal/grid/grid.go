@@ -32,6 +32,19 @@ type Node struct {
 	Force [3]float64         // elastic force density from the structure
 }
 
+// Buf returns distribution buffer b of the node: 0 is the DF field, 1 the
+// DFNew field. Together with the container's parity bit (Grid.Cur or
+// cube.Layout.Cur) it lets the swap-based engines retire kernel 9: the
+// "present" buffer of node n in grid g is n.Buf(g.Cur()) and the
+// post-streaming buffer is n.Buf(1-g.Cur()), so ending a step is an O(1)
+// parity flip instead of a ~300-byte copy per node.
+func (n *Node) Buf(b int) *[lattice.Q]float64 {
+	if b == 0 {
+		return &n.DF
+	}
+	return &n.DFNew
+}
+
 // Grid is a structured Nx×Ny×Nz fluid mesh with all nodes stored in a
 // single x-major slice: index = (x*Ny + y)*Nz + z. All boundaries are
 // periodic; an optional body force (e.g. a pressure-gradient surrogate
@@ -39,6 +52,12 @@ type Node struct {
 type Grid struct {
 	NX, NY, NZ int
 	Nodes      []Node
+
+	// cur is the distribution-buffer parity: Nodes[i].Buf(cur) is the
+	// present buffer, Nodes[i].Buf(1-cur) the post-streaming one. The
+	// zero value (cur == 0, present == DF) is the paper's convention; only
+	// the swap-based engines ever flip it, via Swap.
+	cur int
 }
 
 // New allocates an Nx×Ny×Nz grid with every node at rest: ρ = 1, u = 0,
@@ -68,6 +87,7 @@ func (g *Grid) Reset(rho float64, u [3]float64) {
 		n.Vel = u
 		n.Force = [3]float64{}
 	}
+	g.cur = 0
 }
 
 // Idx returns the flat index of node (x, y, z). Coordinates must already be
@@ -94,13 +114,39 @@ func wrap(i, n int) int {
 // NumNodes returns the total number of fluid nodes.
 func (g *Grid) NumNodes() int { return len(g.Nodes) }
 
+// Cur returns the distribution-buffer parity: node i's present buffer is
+// Nodes[i].Buf(Cur()).
+func (g *Grid) Cur() int { return g.cur }
+
+// Swap retires kernel 9 in O(1): it flips the buffer parity so the
+// post-streaming buffer becomes the present one. Engines that call Swap
+// instead of copying must read distributions through Buf(Cur()); raw DF
+// field reads are only valid on a normalized grid (Cur() == 0).
+func (g *Grid) Swap() { g.cur ^= 1 }
+
+// Normalize materializes the present buffer back into the DF field (and
+// the post-streaming buffer into DFNew) so that raw field reads and
+// serialization see the paper's layout; it is a no-op on an unswapped
+// grid. Engines call it before exposing the grid as a snapshot, which
+// keeps Checkpoint/Restore engine-independent.
+func (g *Grid) Normalize() {
+	if g.cur == 0 {
+		return
+	}
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		n.DF, n.DFNew = n.DFNew, n.DF
+	}
+	g.cur = 0
+}
+
 // TotalMass returns Σ_nodes Σ_i g_i over the present distribution buffer.
 // The BGK collision and periodic streaming conserve it exactly (up to
 // floating-point rounding), which the test suite exploits as an invariant.
 func (g *Grid) TotalMass() float64 {
 	sum := 0.0
 	for i := range g.Nodes {
-		for _, v := range g.Nodes[i].DF {
+		for _, v := range g.Nodes[i].Buf(g.cur) {
 			sum += v
 		}
 	}
@@ -111,8 +157,9 @@ func (g *Grid) TotalMass() float64 {
 func (g *Grid) TotalMomentum() [3]float64 {
 	var m [3]float64
 	for i := range g.Nodes {
+		buf := g.Nodes[i].Buf(g.cur)
 		for q := 0; q < lattice.Q; q++ {
-			v := g.Nodes[i].DF[q]
+			v := buf[q]
 			m[0] += v * float64(lattice.E[q][0])
 			m[1] += v * float64(lattice.E[q][1])
 			m[2] += v * float64(lattice.E[q][2])
@@ -147,7 +194,7 @@ func (g *Grid) ClearForces() {
 // Clone returns a deep copy of the grid, used by the validation harness to
 // snapshot states for cross-solver comparison.
 func (g *Grid) Clone() *Grid {
-	c := &Grid{NX: g.NX, NY: g.NY, NZ: g.NZ, Nodes: make([]Node, len(g.Nodes))}
+	c := &Grid{NX: g.NX, NY: g.NY, NZ: g.NZ, Nodes: make([]Node, len(g.Nodes)), cur: g.cur}
 	copy(c.Nodes, g.Nodes)
 	return c
 }

@@ -45,6 +45,10 @@ type Config struct {
 	Threads  int      // parallel region width; 0 means 1
 	Schedule Schedule // loop schedule (default Static)
 	Chunk    int      // dynamic-schedule chunk size (default 1 slab/fiber)
+	// LegacyCopy restores the paper's kernel 9 (the per-node buffer copy)
+	// instead of the O(1) buffer swap — kept for the copy-vs-swap
+	// ablation; results are bitwise identical either way.
+	LegacyCopy bool
 }
 
 // Solver runs LBM-IB time steps with loop-level parallelism. It embeds the
@@ -52,31 +56,63 @@ type Config struct {
 // overrides the per-kernel loops with parallel regions.
 type Solver struct {
 	*core.Solver
-	Threads  int
-	Schedule Schedule
-	Chunk    int
+	Threads    int
+	Schedule   Schedule
+	Chunk      int
+	LegacyCopy bool
 
 	team       *par.Team
 	planeLocks []sync.Mutex // one per x-plane, guards Force accumulation
 }
 
-// NewSolver builds the parallel solver and starts its thread team.
-func NewSolver(cfg Config) *Solver {
+// NewSolver builds the parallel solver and starts its thread team. Like
+// the other parallel constructors it rejects a NaN-unstable Tau <= 0.5.
+func NewSolver(cfg Config) (*Solver, error) {
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
 	if cfg.Chunk < 1 {
 		cfg.Chunk = 1
 	}
+	cs, err := core.NewSolver(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
 	s := &Solver{
-		Solver:     core.NewSolver(cfg.Config),
+		Solver:     cs,
 		Threads:    cfg.Threads,
 		Schedule:   cfg.Schedule,
 		Chunk:      cfg.Chunk,
+		LegacyCopy: cfg.LegacyCopy,
 		team:       par.NewTeam(cfg.Threads),
 		planeLocks: make([]sync.Mutex, cfg.NX),
 	}
+	// Kernel 4 accumulates on top of the reset that UpdateVelocity leaves
+	// behind (the force-reset sweep is folded into kernel 7 here); seed
+	// the initial body force the same way.
+	s.SeedForce()
+	return s, nil
+}
+
+// MustNewSolver is NewSolver for configurations known valid at the call
+// site; it panics on error.
+func MustNewSolver(cfg Config) *Solver {
+	s, err := NewSolver(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s
+}
+
+// SeedForce initializes every node's force to the uniform body force —
+// the invariant UpdateVelocity maintains between steps. It must be called
+// after loading external state into the fluid grid (e.g. a checkpoint)
+// because SpreadForce no longer resets the field itself.
+func (s *Solver) SeedForce() {
+	body := s.BodyForce
+	for i := range s.Fluid.Nodes {
+		s.Fluid.Nodes[i].Force = body
+	}
 }
 
 // Close releases the worker team.
@@ -177,16 +213,11 @@ func (l lockedPlanes) AddForce(x, y, z int, f [3]float64) {
 	l.s.planeLocks[wx].Unlock()
 }
 
-// SpreadForce is kernel 4: the force-field reset is parallel over x-slabs
-// and the spreading is parallel over fibers with per-x-plane locking.
+// SpreadForce is kernel 4, parallel over fibers with per-x-plane locking.
+// The force-field reset the paper runs here is folded into the previous
+// step's UpdateVelocity sweep (and seeded at construction), saving one
+// full-grid pass per step; spreading accumulates on top of that reset.
 func (s *Solver) SpreadForce() {
-	g := s.Fluid
-	body := s.BodyForce
-	s.parallelFor(g.NX, func(_, lo, hi int) {
-		for i := lo * g.NY * g.NZ; i < hi*g.NY*g.NZ; i++ {
-			g.Nodes[i].Force = body
-		}
-	})
 	if len(s.Sheets) == 0 {
 		return
 	}
@@ -205,9 +236,10 @@ func (s *Solver) SpreadForce() {
 func (s *Solver) ComputeCollision() {
 	g := s.Fluid
 	tau := s.Tau
+	cur := g.Cur()
 	s.parallelFor(g.NX, func(_, lo, hi int) {
 		for i := lo * g.NY * g.NZ; i < hi*g.NY*g.NZ; i++ {
-			core.CollideNode(&g.Nodes[i], tau)
+			core.CollideNodeBuf(&g.Nodes[i], tau, cur)
 		}
 	})
 }
@@ -228,12 +260,18 @@ func (s *Solver) StreamDistribution() {
 	})
 }
 
-// UpdateVelocity is kernel 7 parallelized over x-slabs.
+// UpdateVelocity is kernel 7 parallelized over x-slabs. After computing a
+// node's moments (which read the elastic force for the half-force
+// correction) it resets the node's force to the uniform body force — the
+// fold that lets SpreadForce skip its own full-grid reset sweep.
 func (s *Solver) UpdateVelocity() {
 	g := s.Fluid
+	next := 1 - g.Cur()
+	body := s.BodyForce
 	s.parallelFor(g.NX, func(_, lo, hi int) {
 		for i := lo * g.NY * g.NZ; i < hi*g.NY*g.NZ; i++ {
-			core.UpdateVelocityNode(&g.Nodes[i])
+			core.UpdateVelocityNodeBuf(&g.Nodes[i], next)
+			g.Nodes[i].Force = body
 		}
 	})
 }
@@ -249,12 +287,22 @@ func (s *Solver) MoveFibers() {
 	})
 }
 
-// CopyDistribution is kernel 9 parallelized over x-slabs.
+// CopyDistribution is kernel 9. By default it is retired: an O(1) buffer
+// swap makes the post-streaming buffer the present one, eliminating the
+// ~300-byte-per-node copy the paper's Table I prices at ~6% of a step.
+// With LegacyCopy the published parallel copy runs instead; both paths
+// produce bitwise-identical distributions.
 func (s *Solver) CopyDistribution() {
 	g := s.Fluid
+	if !s.LegacyCopy {
+		g.Swap()
+		return
+	}
+	cur := g.Cur()
 	s.parallelFor(g.NX, func(_, lo, hi int) {
 		for i := lo * g.NY * g.NZ; i < hi*g.NY*g.NZ; i++ {
-			g.Nodes[i].DF = g.Nodes[i].DFNew
+			n := &g.Nodes[i]
+			*n.Buf(cur) = *n.Buf(1 - cur)
 		}
 	})
 }

@@ -168,7 +168,7 @@ func TestProfileRealSolverRanksFluidKernelsFirst(t *testing.T) {
 	prof := &KernelProfile{}
 	sh := fiber.NewSheet(fiber.Params{NumFibers: 8, NodesPerFiber: 8, Width: 7, Height: 7,
 		Origin: fiber.Vec3{6, 4, 4}, Ks: 0.05, Kb: 0.001})
-	s := core.NewSolver(core.Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: sh})
+	s := core.MustNewSolver(core.Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7, Sheet: sh})
 	s.Observer = prof
 	s.Run(5)
 	rows := prof.Ranked()

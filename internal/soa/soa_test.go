@@ -21,7 +21,7 @@ func testSheet() *fiber.Sheet {
 // bitwise.
 func TestBitwiseEqualsAoS(t *testing.T) {
 	const steps = 12
-	ref := core.NewSolver(core.Config{
+	ref := core.MustNewSolver(core.Config{
 		NX: 16, NY: 16, NZ: 16, Tau: 0.7,
 		BodyForce: [3]float64{3e-5, 0, 0}, Sheet: testSheet(),
 	})
@@ -53,7 +53,7 @@ func TestBitwiseEqualsAoS(t *testing.T) {
 
 func TestBounceBackAndLidBitwise(t *testing.T) {
 	const steps = 25
-	mkCore := core.NewSolver(core.Config{
+	mkCore := core.MustNewSolver(core.Config{
 		NX: 8, NY: 8, NZ: 8, Tau: 0.9, BCZ: core.BounceBack,
 		LidVelocity: [3]float64{0.02, 0, 0},
 	})

@@ -89,6 +89,10 @@ type Solver struct {
 	BCZ         core.BC
 	LidVelocity [3]float64
 
+	// bc resolves boundary streaming with the body shared across engines
+	// (core.StreamBC).
+	bc core.StreamBC
+
 	workers int
 	step    int
 
@@ -132,8 +136,8 @@ func NewSolver(cfg Config) (*Solver, error) {
 	if cfg.Tau == 0 {
 		cfg.Tau = 0.6
 	}
-	if cfg.Tau <= 0.5 {
-		return nil, fmt.Errorf("taskflow: tau %g must exceed 0.5", cfg.Tau)
+	if err := core.ValidateTau(cfg.Tau); err != nil {
+		return nil, fmt.Errorf("taskflow: %w", err)
 	}
 	layout, err := cube.NewLayout(cfg.NX, cfg.NY, cfg.NZ, cfg.CubeSize)
 	if err != nil {
@@ -148,13 +152,18 @@ func NewSolver(cfg Config) (*Solver, error) {
 		BCY:         cfg.BCY,
 		BCZ:         cfg.BCZ,
 		LidVelocity: cfg.LidVelocity,
-		workers:     cfg.Workers,
-		csDone:      make([]int, layout.NumCubes()),
-		uvDone:      make([]int, layout.NumCubes()),
-		copyDone:    make([]int, layout.NumCubes()),
-		csQ:         make([]int, layout.NumCubes()),
-		uvQ:         make([]int, layout.NumCubes()),
-		copyQ:       make([]int, layout.NumCubes()),
+		bc: core.StreamBC{
+			NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ,
+			BCX: cfg.BCX, BCY: cfg.BCY, BCZ: cfg.BCZ,
+			LidVelocity: cfg.LidVelocity,
+		},
+		workers:  cfg.Workers,
+		csDone:   make([]int, layout.NumCubes()),
+		uvDone:   make([]int, layout.NumCubes()),
+		copyDone: make([]int, layout.NumCubes()),
+		csQ:      make([]int, layout.NumCubes()),
+		uvQ:      make([]int, layout.NumCubes()),
+		copyQ:    make([]int, layout.NumCubes()),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for c := range s.csDone {
@@ -591,36 +600,10 @@ func (s *Solver) streamNode(x, y, z int) {
 		return
 	}
 	for i := 0; i < lattice.Q; i++ {
-		tx := x + lattice.E[i][0]
-		ty := y + lattice.E[i][1]
-		tz := z + lattice.E[i][2]
-		if (s.BCX == core.BounceBack && (tx < 0 || tx >= l.NX)) ||
-			(s.BCY == core.BounceBack && (ty < 0 || ty >= l.NY)) ||
-			(s.BCZ == core.BounceBack && (tz < 0 || tz >= l.NZ)) {
-			refl := src.DF[i]
-			if s.BCZ == core.BounceBack && tz >= l.NZ && s.LidVelocity != ([3]float64{}) {
-				eu := float64(lattice.E[i][0])*s.LidVelocity[0] +
-					float64(lattice.E[i][1])*s.LidVelocity[1] +
-					float64(lattice.E[i][2])*s.LidVelocity[2]
-				refl -= 6 * lattice.W[i] * src.Rho * eu
-			}
+		tx, ty, tz, refl, bounce := s.bc.Resolve(i, x, y, z, src.DF[i], src.Rho)
+		if bounce {
 			src.DFNew[lattice.Opposite[i]] = refl
 			continue
-		}
-		if tx < 0 {
-			tx += l.NX
-		} else if tx >= l.NX {
-			tx -= l.NX
-		}
-		if ty < 0 {
-			ty += l.NY
-		} else if ty >= l.NY {
-			ty -= l.NY
-		}
-		if tz < 0 {
-			tz += l.NZ
-		} else if tz >= l.NZ {
-			tz -= l.NZ
 		}
 		l.Nodes[l.Idx(tx, ty, tz)].DFNew[i] = src.DF[i]
 	}

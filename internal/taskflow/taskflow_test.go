@@ -37,7 +37,7 @@ func tfConfig(sheet *fiber.Sheet, workers int) Config {
 // the sequential reference at any worker count.
 func TestBitwiseEqualsSequential(t *testing.T) {
 	const steps = 10
-	ref := core.NewSolver(refConfig(testSheet()))
+	ref := core.MustNewSolver(refConfig(testSheet()))
 	ref.Run(steps)
 	for _, workers := range []int{1, 2, 4, 8} {
 		s, err := NewSolver(tfConfig(testSheet(), workers))
@@ -65,7 +65,7 @@ func TestBitwiseEqualsSequential(t *testing.T) {
 func TestFluidOnlyMatchesSequential(t *testing.T) {
 	const steps = 12
 	refCfg := core.Config{NX: 16, NY: 16, NZ: 16, Tau: 0.8, BodyForce: [3]float64{1e-4, 0, 0}}
-	ref := core.NewSolver(refCfg)
+	ref := core.MustNewSolver(refCfg)
 	ref.Run(steps)
 	s, err := NewSolver(Config{NX: 16, NY: 16, NZ: 16, CubeSize: 4, Workers: 4, Tau: 0.8,
 		BodyForce: [3]float64{1e-4, 0, 0}})
@@ -86,7 +86,7 @@ func TestBounceBackMatchesSequential(t *testing.T) {
 	const steps = 15
 	refCfg := core.Config{NX: 8, NY: 8, NZ: 8, Tau: 0.8, BCZ: core.BounceBack,
 		BodyForce: [3]float64{1e-4, 0, 0}}
-	ref := core.NewSolver(refCfg)
+	ref := core.MustNewSolver(refCfg)
 	ref.Run(steps)
 	s, err := NewSolver(Config{NX: 8, NY: 8, NZ: 8, CubeSize: 4, Workers: 3, Tau: 0.8,
 		BCZ: core.BounceBack, BodyForce: [3]float64{1e-4, 0, 0}})

@@ -15,7 +15,7 @@ import (
 // distribution mid-run and asserts the watchdog latches the failure at
 // exactly the step the contamination appears, not before and not after.
 func TestWatchdogFlagsNaNAtExactStep(t *testing.T) {
-	s := core.NewSolver(core.Config{NX: 8, NY: 8, NZ: 8, Tau: 0.7,
+	s := core.MustNewSolver(core.Config{NX: 8, NY: 8, NZ: 8, Tau: 0.7,
 		BodyForce: [3]float64{1e-5, 0, 0}})
 	wd := NewWatchdog(WatchdogConfig{})
 
@@ -59,7 +59,7 @@ func TestWatchdogHealthy16Cubed(t *testing.T) {
 		NumFibers: 8, NodesPerFiber: 8, Width: 3.2, Height: 3.2,
 		Origin: fiber.Vec3{4, 6, 6}, Ks: 0.05, Kb: 0.001,
 	})
-	s := core.NewSolver(core.Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7,
+	s := core.MustNewSolver(core.Config{NX: 16, NY: 16, NZ: 16, Tau: 0.7,
 		BodyForce: [3]float64{2e-5, 0, 0}, Sheet: sheet})
 	wd := NewWatchdog(WatchdogConfig{})
 	for step := 1; step <= 20; step++ {

@@ -69,11 +69,15 @@ func (a *accum) diff() Diff {
 
 // Grids compares the full state (distributions, velocity, density, force)
 // of two same-shaped slab grids. It returns an error on shape mismatch.
+// Distributions are read through each grid's buffer parity (grid.Cur), so
+// live grids from swap-based engines compare correctly against the
+// sequential reference without normalizing first.
 func Grids(a, b *grid.Grid) (Diff, error) {
 	if a.NX != b.NX || a.NY != b.NY || a.NZ != b.NZ {
 		return Diff{}, fmt.Errorf("validate: grid shapes differ: %d×%d×%d vs %d×%d×%d",
 			a.NX, a.NY, a.NZ, b.NX, b.NY, b.NZ)
 	}
+	curA, curB := a.Cur(), b.Cur()
 	var ac accum
 	for i := range a.Nodes {
 		na, nb := &a.Nodes[i], &b.Nodes[i]
@@ -81,8 +85,9 @@ func Grids(a, b *grid.Grid) (Diff, error) {
 		loc := func(field string) func() string {
 			return func() string { return fmt.Sprintf("node %d %s", idx, field) }
 		}
-		for q := range na.DF {
-			ac.add(na.DF[q], nb.DF[q], loc("DF"))
+		dfa, dfb := na.Buf(curA), nb.Buf(curB)
+		for q := range dfa {
+			ac.add(dfa[q], dfb[q], loc("DF"))
 		}
 		for d := 0; d < 3; d++ {
 			ac.add(na.Vel[d], nb.Vel[d], loc("Vel"))

@@ -322,9 +322,17 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	switch cfg.Solver {
 	case Sequential:
-		sim.eng = &seqEngine{core.NewSolver(coreCfg)}
+		cs, err := core.NewSolver(coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		sim.eng = &seqEngine{cs}
 	case OpenMP:
-		sim.eng = &ompEngine{omp.NewSolver(omp.Config{Config: coreCfg, Threads: cfg.Threads})}
+		os, err := omp.NewSolver(omp.Config{Config: coreCfg, Threads: cfg.Threads})
+		if err != nil {
+			return nil, err
+		}
+		sim.eng = &ompEngine{os}
 	case CubeBased:
 		k := cfg.CubeSize
 		if k == 0 {
@@ -674,10 +682,14 @@ func (e *seqEngine) load(g *grid.Grid) error {
 
 type ompEngine struct{ s *omp.Solver }
 
-func (e *ompEngine) step()                { e.s.Step() }
-func (e *ompEngine) run(n int)            { e.s.Run(n) }
-func (e *ompEngine) stepCount() int       { return e.s.StepCount() }
-func (e *ompEngine) snapshot() *grid.Grid { return e.s.Fluid }
+func (e *ompEngine) step()          { e.s.Step() }
+func (e *ompEngine) run(n int)      { e.s.Run(n) }
+func (e *ompEngine) stepCount() int { return e.s.StepCount() }
+
+// snapshot materializes the present buffer into the DF field first: the
+// swap-based engine's live grid may have odd parity, and snapshot
+// consumers (checkpointing, VTK output) read raw fields.
+func (e *ompEngine) snapshot() *grid.Grid { e.s.Fluid.Normalize(); return e.s.Fluid }
 func (e *ompEngine) velocityAt(x, y, z int) [3]float64 {
 	return e.s.Fluid.VelocityAt(x, y, z)
 }
@@ -688,7 +700,12 @@ func (e *ompEngine) densityAt(x, y, z int) float64 {
 func (e *ompEngine) close()                { e.s.Close() }
 func (e *ompEngine) observe(si *stepInstr) { e.s.Observer = si }
 func (e *ompEngine) load(g *grid.Grid) error {
+	e.s.Fluid.Normalize() // align parity with the (normalized) snapshot
 	copy(e.s.Fluid.Nodes, g.Nodes)
+	// Re-establish the between-steps invariant Force == BodyForce that
+	// SpreadForce relies on; the snapshot may carry another engine's
+	// end-of-step force state, which is dead state for every engine.
+	e.s.SeedForce()
 	return nil
 }
 
@@ -705,9 +722,18 @@ func (e *cubeEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *cubeEngine) close()                  { e.s.Close() }
-func (e *cubeEngine) observe(si *stepInstr)   { e.s.Observer = si }
-func (e *cubeEngine) load(g *grid.Grid) error { return e.s.Fluid.FromGrid(g) }
+func (e *cubeEngine) close()                { e.s.Close() }
+func (e *cubeEngine) observe(si *stepInstr) { e.s.Observer = si }
+func (e *cubeEngine) load(g *grid.Grid) error {
+	if err := e.s.Fluid.FromGrid(g); err != nil {
+		return err
+	}
+	// Re-establish the between-steps invariant Force == BodyForce (the
+	// snapshot may carry the sequential engine's end-of-step force state,
+	// which every engine treats as dead).
+	e.s.SeedForce()
+	return nil
+}
 
 type taskflowEngine struct{ s *taskflow.Solver }
 
@@ -727,5 +753,13 @@ func (e *taskflowEngine) close() {}
 // observe is a no-op: the task-scheduled engine has no timing callbacks
 // yet (its phases interleave across steps, so a per-step observer would
 // mislead).
-func (e *taskflowEngine) observe(*stepInstr)      {}
-func (e *taskflowEngine) load(g *grid.Grid) error { return e.s.Fluid.FromGrid(g) }
+func (e *taskflowEngine) observe(*stepInstr) {}
+func (e *taskflowEngine) load(g *grid.Grid) error {
+	if err := e.s.Fluid.FromGrid(g); err != nil {
+		return err
+	}
+	for i := range e.s.Fluid.Nodes {
+		e.s.Fluid.Nodes[i].Force = e.s.BodyForce
+	}
+	return nil
+}

@@ -2,7 +2,8 @@
 # Tier-1 verification: build + full test suite, static checks, and the
 # race detector on the packages where concurrency bugs would hide
 # (telemetry sinks are called from every worker thread; the cube solver
-# owns the P×Q×R barrier choreography).
+# owns the P×Q×R barrier choreography; the omp and cube engines flip the
+# shared double-buffer parity bit from worker threads; soa swaps slices).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,4 +11,4 @@ cd "$(dirname "$0")/.."
 go build ./...
 go test ./...
 go vet ./...
-go test -race ./internal/telemetry/... ./internal/cubesolver/...
+go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/soa/...

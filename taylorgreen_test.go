@@ -28,7 +28,7 @@ func TestTaylorGreenVortexDecay(t *testing.T) {
 	nu := lattice.ViscosityFromTau(tau)
 	k := 2 * math.Pi / float64(n)
 
-	s := core.NewSolver(core.Config{NX: n, NY: n, NZ: 4, Tau: tau})
+	s := core.MustNewSolver(core.Config{NX: n, NY: n, NZ: 4, Tau: tau})
 	for x := 0; x < n; x++ {
 		for y := 0; y < n; y++ {
 			ux := U * math.Sin(k*float64(x)) * math.Cos(k*float64(y))

@@ -79,7 +79,7 @@ func TestTraceFileCubeRun(t *testing.T) {
 		t.Fatalf("trace has %d thread tracks, want ≥ %d (the P·Q·R mesh)", len(tracks), threads)
 	}
 	for _, want := range []string{
-		"fiber_force_spread", "collide_stream", "update_velocity", "move_fibers", "copy_distribution",
+		"fiber_force_spread", "collide_stream", "update_velocity", "move_fibers", "swap_distribution",
 	} {
 		if !phases[want] {
 			t.Errorf("Algorithm-4 phase %q missing from trace", want)
