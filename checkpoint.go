@@ -60,19 +60,49 @@ func (s *Simulation) Checkpoint(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(st)
 }
 
+// restoreSizeLimit bounds how many bytes Restore will read for cfg: a
+// well-formed checkpoint costs well under 1 KiB per fluid node (45
+// float64 fields at ≤ 9 gob bytes each) and per fiber node, plus a fixed
+// allowance for the gob type preamble. Reading through this cap turns a
+// corrupt stream that declares a huge slice into a decode error instead
+// of an unbounded allocation.
+func restoreSizeLimit(cfg Config) int64 {
+	limit := int64(1<<16) + int64(cfg.NX)*int64(cfg.NY)*int64(cfg.NZ)*1024
+	for _, sc := range append(append([]*SheetConfig(nil), cfg.Sheets...), cfg.Sheet) {
+		if sc != nil {
+			limit += 4096 + int64(sc.NumFibers)*int64(sc.NodesPerFiber)*1024
+		}
+	}
+	return limit
+}
+
 // Restore builds a Simulation from cfg and overwrites its state with a
 // checkpoint previously written by Checkpoint. The configuration's grid
 // dimensions and sheet shapes must match the checkpoint; engine kind,
 // thread count and cube size are free to differ.
-func Restore(r io.Reader, cfg Config) (*Simulation, error) {
+//
+// A checkpoint is external input, so Restore decodes defensively: input
+// is read through a size cap derived from cfg (truncated, oversized or
+// length-corrupted streams return an error rather than allocating
+// unboundedly), and a decoder panic is converted into an error.
+func Restore(r io.Reader, cfg Config) (sim *Simulation, err error) {
+	if cfg.NX < 1 || cfg.NY < 1 || cfg.NZ < 1 {
+		return nil, fmt.Errorf("lbmib: invalid grid %d×%d×%d", cfg.NX, cfg.NY, cfg.NZ)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			sim = nil
+			err = fmt.Errorf("lbmib: decoding checkpoint: panic: %v", p)
+		}
+	}()
 	var st checkpointState
-	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+	if err := gob.NewDecoder(io.LimitReader(r, restoreSizeLimit(cfg))).Decode(&st); err != nil {
 		return nil, fmt.Errorf("lbmib: decoding checkpoint: %w", err)
 	}
 	if st.Version != checkpointVersion {
 		return nil, fmt.Errorf("lbmib: checkpoint version %d, want %d", st.Version, checkpointVersion)
 	}
-	sim, err := New(cfg)
+	sim, err = New(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,53 @@
+package lbmib
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func fuzzRestoreCfg() Config { return Config{NX: 4, NY: 4, NZ: 4, Tau: 0.7} }
+
+// validCheckpoint produces real checkpoint bytes for the fuzz corpus and
+// the malformed-input table.
+func validCheckpoint(t testing.TB) []byte {
+	t.Helper()
+	s, err := New(fuzzRestoreCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(2)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRestore feeds Restore arbitrary bytes. A checkpoint is external
+// input, so whatever the decoder is handed the call must return (a
+// Simulation or an error) — never panic, hang, or allocate without
+// bound. The harness's size cap and recover path are what this target
+// exercises.
+func FuzzRestore(f *testing.F) {
+	valid := validCheckpoint(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:1])
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint"))
+	var badVersion bytes.Buffer
+	if err := gob.NewEncoder(&badVersion).Encode(checkpointState{Version: 99}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(badVersion.Bytes())
+
+	cfg := fuzzRestoreCfg()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sim, err := Restore(bytes.NewReader(data), cfg)
+		if err == nil {
+			sim.Close()
+		}
+	})
+}

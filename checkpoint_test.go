@@ -2,9 +2,12 @@ package lbmib
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"strings"
 	"testing"
+
+	"lbmib/internal/grid"
 )
 
 // A checkpointed run resumed from the file must continue exactly as if it
@@ -138,6 +141,79 @@ func TestRestoreRejectsMismatchedSheets(t *testing.T) {
 func TestRestoreRejectsGarbage(t *testing.T) {
 	if _, err := Restore(bytes.NewBufferString("not a checkpoint"), baseCfg(Sequential)); err == nil {
 		t.Fatal("garbage input accepted")
+	}
+}
+
+// Restore decodes external input, so every malformed stream must come
+// back as an error — never a panic or an unbounded allocation.
+func TestRestoreRejectsMalformedStreams(t *testing.T) {
+	cfg := fuzzRestoreCfg()
+	valid := validCheckpoint(t)
+
+	encode := func(st checkpointState) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring the error must mention
+	}{
+		{"empty", nil, "decoding"},
+		{"truncated header", valid[:1], "decoding"},
+		{"truncated body", valid[:len(valid)/2], "decoding"},
+		{"wrong version", encode(checkpointState{Version: 99, NX: 4, NY: 4, NZ: 4}), "version"},
+		{"node count mismatch", encode(checkpointState{
+			Version: checkpointVersion, NX: 4, NY: 4, NZ: 4,
+			Nodes: make([]grid.Node, 3),
+		}), "nodes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := Restore(bytes.NewReader(tc.data), cfg)
+			if err == nil {
+				sim.Close()
+				t.Fatal("malformed stream accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// A stream that declares far more state than the target configuration
+// can hold must hit the size cap and fail, instead of allocating the
+// declared amount.
+func TestRestoreRejectsOversizedStream(t *testing.T) {
+	big, err := New(Config{NX: 24, NY: 24, NZ: 24, Tau: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+	var buf bytes.Buffer
+	if err := big.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	small := fuzzRestoreCfg()
+	if int64(buf.Len()) <= restoreSizeLimit(small) {
+		t.Fatalf("test premise broken: %d-byte stream under the %d-byte cap", buf.Len(), restoreSizeLimit(small))
+	}
+	if sim, err := Restore(&buf, small); err == nil {
+		sim.Close()
+		t.Fatal("oversized stream accepted")
+	}
+}
+
+// Restore must reject configurations with a degenerate grid before
+// touching the stream at all.
+func TestRestoreRejectsDegenerateConfig(t *testing.T) {
+	if _, err := Restore(bytes.NewReader(nil), Config{NX: 0, NY: 4, NZ: 4, Tau: 0.7}); err == nil {
+		t.Fatal("degenerate grid accepted")
 	}
 }
 

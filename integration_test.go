@@ -6,10 +6,17 @@ import (
 	"testing/quick"
 )
 
-// Running the same configuration twice must give bitwise-identical
-// results for every engine — the harness relies on reproducibility.
+// Running the same configuration twice must reproduce — and the
+// strength of "reproduce" is the documented per-engine contract. The
+// sequential engine runs in program order and the task-scheduled engine
+// spreads fiber forces as a single task, so both are bitwise
+// reproducible at any thread count. The omp and cube engines accumulate
+// spread forces from concurrent threads under locks (baseCfg has a
+// sheet and Threads > 1), so their reruns agree only to
+// accumulation-order noise.
 func TestDeterministicReruns(t *testing.T) {
-	for _, kind := range []SolverKind{Sequential, OpenMP, CubeBased} {
+	bitwise := map[SolverKind]bool{Sequential: true, TaskScheduled: true}
+	for _, kind := range []SolverKind{Sequential, OpenMP, CubeBased, TaskScheduled} {
 		run := func() ([3]float64, [][3]float64) {
 			s, err := New(baseCfg(kind))
 			if err != nil {
@@ -22,22 +29,29 @@ func TestDeterministicReruns(t *testing.T) {
 		}
 		v1, p1 := run()
 		v2, p2 := run()
-		if kind == Sequential {
-			// The sequential engine must be exactly reproducible.
+		if bitwise[kind] {
 			if v1 != v2 {
-				t.Fatalf("%v velocity not reproducible: %v vs %v", kind, v1, v2)
+				t.Fatalf("%v velocity not bitwise reproducible: %v vs %v", kind, v1, v2)
 			}
 			for i := range p1 {
 				if p1[i] != p2[i] {
-					t.Fatalf("%v sheet position %d not reproducible", kind, i)
+					t.Fatalf("%v sheet position %d not bitwise reproducible", kind, i)
 				}
 			}
 			continue
 		}
-		// Parallel engines: reproducible to accumulation-order noise.
+		// Nondeterministic engines: reproducible to accumulation-order
+		// noise, on the fluid and the structure alike.
 		for d := 0; d < 3; d++ {
 			if math.Abs(v1[d]-v2[d]) > 1e-12 {
 				t.Fatalf("%v velocity rerun differs: %v vs %v", kind, v1, v2)
+			}
+		}
+		for i := range p1 {
+			for d := 0; d < 3; d++ {
+				if math.Abs(p1[i][d]-p2[i][d]) > 1e-12 {
+					t.Fatalf("%v sheet position %d rerun differs: %v vs %v", kind, i, p1[i], p2[i])
+				}
 			}
 		}
 	}

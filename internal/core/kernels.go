@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"lbmib/internal/fiber"
@@ -149,12 +150,15 @@ func (s *Solver) Sheet() *fiber.Sheet {
 	return s.Sheets[0]
 }
 
-// ValidateTau checks that a BGK relaxation time is stable: τ must exceed
-// 0.5 or the effective viscosity 3(τ−½) is non-positive and the collision
-// amplifies perturbations into NaNs. All solver constructors share it.
+// ValidateTau checks that a BGK relaxation time is stable: τ must be a
+// finite value exceeding 0.5, or the effective viscosity 3(τ−½) is
+// non-positive (or undefined) and the collision amplifies perturbations
+// into NaNs. NaN and ±Inf are rejected explicitly — NaN compares false
+// against every threshold, and an infinite τ makes the collision operator
+// a silent no-op. All solver constructors share it.
 func ValidateTau(tau float64) error {
-	if tau <= 0.5 {
-		return fmt.Errorf("tau %g must exceed 0.5 (viscosity must be positive)", tau)
+	if math.IsNaN(tau) || math.IsInf(tau, 0) || tau <= 0.5 {
+		return fmt.Errorf("tau %g must be a finite value exceeding 0.5 (viscosity must be positive)", tau)
 	}
 	return nil
 }

@@ -376,3 +376,22 @@ func TestNewSolverRejectsBadTau(t *testing.T) {
 		t.Fatalf("default tau = %g, want 0.6", s.Tau)
 	}
 }
+
+// ValidateTau is the single stability gate every engine shares; pin its
+// boundary behavior exactly: τ = 0.5 is rejected (zero viscosity), the
+// next representable value above is accepted, and non-finite values are
+// rejected rather than flowing NaN into the collision kernel.
+func TestValidateTauBoundaries(t *testing.T) {
+	reject := []float64{0.5, math.NaN(), math.Inf(1), math.Inf(-1), 0, -0.7}
+	for _, tau := range reject {
+		if err := ValidateTau(tau); err == nil {
+			t.Errorf("ValidateTau(%g) accepted", tau)
+		}
+	}
+	accept := []float64{math.Nextafter(0.5, 1), 0.51, 0.6, 1, 100}
+	for _, tau := range accept {
+		if err := ValidateTau(tau); err != nil {
+			t.Errorf("ValidateTau(%g) rejected: %v", tau, err)
+		}
+	}
+}

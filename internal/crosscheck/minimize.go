@@ -1,0 +1,76 @@
+package crosscheck
+
+import "lbmib"
+
+// Minimize shrinks a failing case while the failure persists, so a
+// divergence report ends with the smallest reproducer the greedy passes
+// can find rather than the raw random case. Each candidate shrink is
+// kept only if the Runner still rejects it:
+//
+//  1. halve the step count (repeatedly),
+//  2. drop immersed sheets one at a time,
+//  3. reduce the thread count to 1,
+//  4. shrink each grid axis to its smallest legal extent (only once the
+//     sheets are gone — a sheet constrains the box that contains it).
+//
+// Minimize reruns the full oracle suite per candidate, so it is meant
+// for the failure path, not the hot path.
+func (r *Runner) Minimize(c Case) Case {
+	fails := func(c Case) bool { return !r.Run(c).OK }
+	if !fails(c) {
+		return c
+	}
+
+	for c.Steps > 1 {
+		t := c
+		t.Steps = c.Steps / 2
+		if t.CheckEvery > t.Steps {
+			t.CheckEvery = t.Steps
+		}
+		if !fails(t) {
+			break
+		}
+		c = t
+	}
+
+	for i := 0; i < len(c.Config.Sheets); {
+		t := c
+		t.Config.Sheets = append(append([]*lbmib.SheetConfig(nil), c.Config.Sheets[:i]...), c.Config.Sheets[i+1:]...)
+		if fails(t) {
+			c = t
+			continue
+		}
+		i++
+	}
+
+	if c.Config.Threads > 1 {
+		t := c
+		t.Config.Threads = 1
+		if fails(t) {
+			c = t
+		}
+	}
+
+	if len(c.Config.Sheets) == 0 {
+		// Preserve (in)divisibility so the same engine set stays in play.
+		min := 2 * c.Config.CubeSize
+		if min < 2 {
+			min = 2
+		}
+		if !CubeDivisible(c) {
+			min++
+		}
+		for axis := 0; axis < 3; axis++ {
+			t := c
+			n := []*int{&t.Config.NX, &t.Config.NY, &t.Config.NZ}[axis]
+			if *n <= min {
+				continue
+			}
+			*n = min
+			if fails(t) {
+				c = t
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,450 @@
+package crosscheck
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"lbmib"
+	"lbmib/internal/core"
+	"lbmib/internal/fiber"
+	"lbmib/internal/grid"
+	"lbmib/internal/lattice"
+	"lbmib/internal/soa"
+	"lbmib/internal/validate"
+)
+
+// Engine names one implementation under differential test. The facade
+// engines are addressed through lbmib.SolverKind; the SoA solver is
+// internal-only and driven directly.
+type Engine string
+
+// The engines the Runner exercises.
+const (
+	EngineSequential Engine = "sequential"
+	EngineOMP        Engine = "omp"
+	EngineCube       Engine = "cube"
+	EngineTaskflow   Engine = "taskflow"
+	EngineSoA        Engine = "soa"
+)
+
+// Engines returns the engines applicable to the case. The cube-layout
+// engines require every grid edge to be divisible by the cube size; for
+// indivisible shapes the Runner instead asserts that they reject the
+// configuration.
+func Engines(c Case) []Engine {
+	es := []Engine{EngineSequential, EngineOMP, EngineSoA}
+	if CubeDivisible(c) {
+		es = append(es, EngineCube, EngineTaskflow)
+	}
+	return es
+}
+
+// Deterministic reports whether engine e replays the exact same
+// floating-point trajectory for this case — the bitwise half of the
+// equivalence contract. Sequential and SoA execute one thread in program
+// order; taskflow spreads fiber forces as a single task and all cube
+// tasks write disjoint data, so it is bitwise at any worker count. The
+// omp and cube engines accumulate spread forces from concurrent threads
+// under locks, so with an immersed structure and more than one thread
+// their accumulation order — and hence the low-order bits — varies.
+func Deterministic(e Engine, c Case) bool {
+	switch e {
+	case EngineOMP, EngineCube:
+		return c.Config.Threads == 1 || len(c.Config.Sheets) == 0
+	default:
+		return true
+	}
+}
+
+// EngineReport is the per-engine verdict of one case.
+type EngineReport struct {
+	Engine   string   `json:"engine"`
+	Bitwise  bool     `json:"bitwise"`            // contract applied (vs tolerance)
+	MaxAbs   float64  `json:"max_abs_diff"`       // vs the sequential reference
+	Failures []string `json:"failures,omitempty"` // empty means the engine passed
+}
+
+// Result is the verdict of one case across all engines and oracles.
+type Result struct {
+	Seed     int64          `json:"seed"`
+	OK       bool           `json:"ok"`
+	Engines  []EngineReport `json:"engines"`
+	Failures []string       `json:"failures,omitempty"` // reference/metamorphic/round-trip failures
+}
+
+// FailureSummary flattens every failure in the result into one string.
+func (res Result) FailureSummary() string {
+	var b bytes.Buffer
+	for _, f := range res.Failures {
+		fmt.Fprintf(&b, "case: %s\n", f)
+	}
+	for _, er := range res.Engines {
+		for _, f := range er.Failures {
+			fmt.Fprintf(&b, "%s: %s\n", er.Engine, f)
+		}
+	}
+	return b.String()
+}
+
+// Runner executes cases across engines and applies the oracles.
+type Runner struct {
+	// Tol is the tolerance contract for nondeterministic engines
+	// (default validate.DefaultTol).
+	Tol float64
+	// MetaTol bounds the metamorphic symmetry comparisons, which reorder
+	// per-node reductions but nothing else (default 1e-11).
+	MetaTol float64
+}
+
+// NewRunner returns a Runner with the default contracts.
+func NewRunner() *Runner {
+	return &Runner{Tol: validate.DefaultTol, MetaTol: 1e-11}
+}
+
+// state is a captured engine state: a parity-normalized fluid grid plus
+// per-sheet node positions and velocities.
+type state struct {
+	grid   *grid.Grid
+	sheetX [][][3]float64
+	sheetV [][][3]float64
+}
+
+// engineRun abstracts "an executing engine" over the facade simulations
+// and the internal SoA solver.
+type engineRun interface {
+	run(n int)
+	state() state
+	close()
+}
+
+// simRun drives a facade engine.
+type simRun struct{ sim *lbmib.Simulation }
+
+func (e *simRun) run(n int) { e.sim.Run(n) }
+func (e *simRun) close()    { e.sim.Close() }
+func (e *simRun) state() state {
+	st := state{grid: e.sim.FluidSnapshot()}
+	for i := 0; i < e.sim.NumSheets(); i++ {
+		x, _ := e.sim.SheetPositionsAt(i)
+		v, _ := e.sim.SheetVelocitiesAt(i)
+		st.sheetX = append(st.sheetX, x)
+		st.sheetV = append(st.sheetV, v)
+	}
+	return st
+}
+
+// soaRun drives the structure-of-arrays solver.
+type soaRun struct{ s *soa.Solver }
+
+func (e *soaRun) run(n int) { e.s.Run(n) }
+func (e *soaRun) close()    {}
+func (e *soaRun) state() state {
+	st := state{grid: e.s.Fluid.ToGrid()}
+	for _, sh := range e.s.Sheets {
+		st.sheetX = append(st.sheetX, append([][3]float64(nil), sh.X...))
+		st.sheetV = append(st.sheetV, append([][3]float64(nil), sh.Vel...))
+	}
+	return st
+}
+
+func toBC(b lbmib.Boundary) core.BC {
+	if b == lbmib.NoSlip {
+		return core.BounceBack
+	}
+	return core.Periodic
+}
+
+// effTau resolves the relaxation time the facade would derive for cfg.
+func effTau(cfg lbmib.Config) float64 {
+	if cfg.Tau == 0 && cfg.Viscosity > 0 {
+		return lattice.TauFromViscosity(cfg.Viscosity)
+	}
+	if cfg.Tau == 0 {
+		return 0.6
+	}
+	return cfg.Tau
+}
+
+// buildSheets constructs the fiber sheets for cfg exactly as the facade
+// does, for the engines driven outside the facade.
+func buildSheets(cfg lbmib.Config) []*fiber.Sheet {
+	var out []*fiber.Sheet
+	for _, sc := range cfg.Sheets {
+		s := fiber.NewSheet(fiber.Params{
+			NumFibers:     sc.NumFibers,
+			NodesPerFiber: sc.NodesPerFiber,
+			Width:         sc.Width,
+			Height:        sc.Height,
+			Origin:        sc.Origin,
+			Ks:            sc.Ks,
+			Kb:            sc.Kb,
+		})
+		if sc.FixedRadius > 0 {
+			s.FixRegion(sc.FixedRadius)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// solverKind maps a facade engine name to its SolverKind.
+func solverKind(e Engine) lbmib.SolverKind {
+	switch e {
+	case EngineOMP:
+		return lbmib.OpenMP
+	case EngineCube:
+		return lbmib.CubeBased
+	case EngineTaskflow:
+		return lbmib.TaskScheduled
+	default:
+		return lbmib.Sequential
+	}
+}
+
+// newEngine instantiates engine e for the case.
+func newEngine(c Case, e Engine) (engineRun, error) {
+	if e == EngineSoA {
+		cfg := c.Config
+		s, err := soa.NewSolver(soa.Config{
+			NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ,
+			Tau:       effTau(cfg),
+			BodyForce: cfg.BodyForce,
+			BCX:       toBC(cfg.BoundaryX), BCY: toBC(cfg.BoundaryY), BCZ: toBC(cfg.BoundaryZ),
+			LidVelocity: cfg.LidVelocity,
+			Sheets:      buildSheets(cfg),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &soaRun{s}, nil
+	}
+	cfg := c.Config
+	cfg.Solver = solverKind(e)
+	sim, err := lbmib.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &simRun{sim}, nil
+}
+
+// Run executes the case on every applicable engine and applies the
+// differential, invariant, metamorphic and round-trip oracles.
+func (r *Runner) Run(c Case) Result {
+	res := Result{Seed: c.Seed}
+	if c.Steps < 1 {
+		c.Steps = 1
+	}
+	if c.CheckEvery < 1 {
+		c.CheckEvery = 1
+	}
+
+	// The sequential reference, with invariants checked along the way.
+	ref, err := newEngine(c, EngineSequential)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("building sequential reference: %v", err))
+		res.OK = false
+		return res
+	}
+	refFinal, refFails := r.drive(ref, c)
+	ref.close()
+	for _, f := range refFails {
+		res.Failures = append(res.Failures, "sequential: "+f)
+	}
+
+	// Cube-layout engines must reject indivisible shapes.
+	if !CubeDivisible(c) {
+		for _, e := range []Engine{EngineCube, EngineTaskflow} {
+			if eng, err := newEngine(c, e); err == nil {
+				eng.close()
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("%s accepted indivisible grid %d×%d×%d with cube size %d",
+						e, c.Config.NX, c.Config.NY, c.Config.NZ, c.Config.CubeSize))
+			}
+		}
+	}
+
+	// Differential pass: every other engine against the reference.
+	for _, e := range Engines(c) {
+		if e == EngineSequential {
+			continue
+		}
+		er := EngineReport{Engine: string(e), Bitwise: Deterministic(e, c)}
+		eng, err := newEngine(c, e)
+		if err != nil {
+			er.Failures = append(er.Failures, fmt.Sprintf("constructor rejected valid config: %v", err))
+			res.Engines = append(res.Engines, er)
+			continue
+		}
+		final, fails := r.drive(eng, c)
+		eng.close()
+		er.Failures = append(er.Failures, fails...)
+		tol := 0.0
+		if !er.Bitwise {
+			tol = r.Tol
+		}
+		maxAbs, cmpFails := compareStates(refFinal, final, tol)
+		er.MaxAbs = maxAbs
+		er.Failures = append(er.Failures, cmpFails...)
+		res.Engines = append(res.Engines, er)
+	}
+
+	// Metamorphic symmetry oracles (fluid-only cases, sequential engine).
+	if len(c.Config.Sheets) == 0 {
+		res.Failures = append(res.Failures, r.metamorphic(c, refFinal)...)
+	}
+
+	// Mid-run checkpoint/restore must land back on the same trajectory.
+	res.Failures = append(res.Failures, r.roundTrips(c)...)
+
+	res.OK = len(res.Failures) == 0
+	for _, er := range res.Engines {
+		if len(er.Failures) > 0 {
+			res.OK = false
+		}
+	}
+	return res
+}
+
+// drive advances the engine to c.Steps, applying the invariant oracles
+// every c.CheckEvery steps, and returns the final state.
+func (r *Runner) drive(e engineRun, c Case) (state, []string) {
+	var fails []string
+	m0 := e.state().grid.TotalMass()
+	for done := 0; done < c.Steps; {
+		n := c.CheckEvery
+		if done+n > c.Steps {
+			n = c.Steps - done
+		}
+		e.run(n)
+		done += n
+		if msgs := checkInvariants(c, e.state(), m0); len(msgs) > 0 {
+			for _, m := range msgs {
+				fails = append(fails, fmt.Sprintf("step %d: %s", done, m))
+			}
+			break // the state is unphysical; later checks would cascade
+		}
+	}
+	final := e.state()
+	fails = append(fails, checkMomentumSign(c, final)...)
+	return final, fails
+}
+
+// compareStates diffs two engine states over the physical fields
+// (distributions, velocity, density, sheet positions and velocities).
+// tol == 0 demands bitwise equality.
+func compareStates(a, b state, tol float64) (float64, []string) {
+	var fails []string
+	d, err := validate.GridsPhysics(a.grid, b.grid)
+	if err != nil {
+		return math.Inf(1), []string{err.Error()}
+	}
+	maxAbs := d.MaxAbs
+	if !d.Within(tol) {
+		fails = append(fails, fmt.Sprintf("fluid state diverges (tol %.1e): %v", tol, d))
+	}
+	if len(a.sheetX) != len(b.sheetX) {
+		return maxAbs, append(fails, fmt.Sprintf("sheet count %d vs %d", len(a.sheetX), len(b.sheetX)))
+	}
+	for i := range a.sheetX {
+		for j := range a.sheetX[i] {
+			for dim := 0; dim < 3; dim++ {
+				dx := math.Abs(a.sheetX[i][j][dim] - b.sheetX[i][j][dim])
+				dv := math.Abs(a.sheetV[i][j][dim] - b.sheetV[i][j][dim])
+				if dx > maxAbs {
+					maxAbs = dx
+				}
+				if dv > maxAbs {
+					maxAbs = dv
+				}
+				if dx > tol || dv > tol {
+					fails = append(fails, fmt.Sprintf(
+						"sheet %d node %d diverges (tol %.1e): |Δx|=%.3e |Δv|=%.3e",
+						i, j, tol, dx, dv))
+					return maxAbs, fails
+				}
+			}
+		}
+	}
+	return maxAbs, fails
+}
+
+// roundTrips checkpoints a fresh run of the case mid-way, restores it,
+// finishes the run and demands the restored trajectory land on the
+// uninterrupted one — bitwise for deterministic engines, within Tol
+// otherwise. It exercises the sequential engine plus the first
+// applicable cube-layout engine (or omp when the shape is indivisible).
+func (r *Runner) roundTrips(c Case) []string {
+	engines := []Engine{EngineSequential}
+	if CubeDivisible(c) {
+		engines = append(engines, EngineCube)
+	} else {
+		engines = append(engines, EngineOMP)
+	}
+	var fails []string
+	for _, e := range engines {
+		if msg := r.roundTrip(c, e); msg != "" {
+			fails = append(fails, msg)
+		}
+	}
+	return fails
+}
+
+func (r *Runner) roundTrip(c Case, e Engine) string {
+	half := c.Steps / 2
+	if half < 1 {
+		half = 1
+	}
+	rest := c.Steps - half
+	if rest < 0 {
+		rest = 0
+	}
+
+	// Uninterrupted trajectory.
+	full, err := newEngine(c, e)
+	if err != nil {
+		return fmt.Sprintf("round-trip %s: constructor: %v", e, err)
+	}
+	full.run(c.Steps)
+	want := full.state()
+	full.close()
+
+	// Interrupted: run half, checkpoint, restore, run the rest.
+	first, err := newEngine(c, e)
+	if err != nil {
+		return fmt.Sprintf("round-trip %s: constructor: %v", e, err)
+	}
+	first.run(half)
+	var buf bytes.Buffer
+	sim := first.(*simRun).sim
+	if err := sim.Checkpoint(&buf); err != nil {
+		first.close()
+		return fmt.Sprintf("round-trip %s: checkpoint: %v", e, err)
+	}
+	first.close()
+
+	cfg := c.Config
+	cfg.Solver = solverKind(e)
+	restored, err := lbmib.Restore(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		return fmt.Sprintf("round-trip %s: restore: %v", e, err)
+	}
+	restored.Run(rest)
+	if got := restored.StepCount(); got != c.Steps {
+		restored.Close()
+		return fmt.Sprintf("round-trip %s: step count %d after restore, want %d", e, got, c.Steps)
+	}
+	rr := &simRun{restored}
+	got := rr.state()
+	restored.Close()
+
+	tol := 0.0
+	if !Deterministic(e, c) {
+		tol = r.Tol
+	}
+	if maxAbs, cmpFails := compareStates(want, got, tol); len(cmpFails) > 0 {
+		return fmt.Sprintf("round-trip %s: restored trajectory diverges (max|Δ|=%.3e): %s",
+			e, maxAbs, cmpFails[0])
+	}
+	return ""
+}

@@ -149,8 +149,19 @@ func (s *Solver) Step() {
 	run(core.KUpdateVelocity, s.UpdateVelocity)
 	run(core.KMoveFibers, s.MoveFibers)
 	run(core.KCopyDistribution, s.CopyDistribution)
+	if FaultHook != nil {
+		FaultHook(s)
+	}
 	s.AdvanceStep()
 }
+
+// FaultHook, when non-nil, is invoked with the live solver after every
+// completed step, before the step counter advances. It is a test-only
+// seam: the crosscheck harness (internal/crosscheck) installs an
+// off-by-one perturbation here to prove its differential oracles detect
+// an engine that drifts from the sequential reference. Production code
+// never sets it.
+var FaultHook func(*Solver)
 
 // Run executes n time steps.
 func (s *Solver) Run(n int) {

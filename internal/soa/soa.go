@@ -152,8 +152,8 @@ func NewSolver(cfg Config) (*Solver, error) {
 	if cfg.Tau == 0 {
 		cfg.Tau = 0.6
 	}
-	if cfg.Tau <= 0.5 {
-		return nil, fmt.Errorf("soa: tau %g must exceed 0.5", cfg.Tau)
+	if err := core.ValidateTau(cfg.Tau); err != nil {
+		return nil, fmt.Errorf("soa: %w", err)
 	}
 	g, err := NewGrid(cfg.NX, cfg.NY, cfg.NZ)
 	if err != nil {

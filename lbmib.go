@@ -298,8 +298,8 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.Tau == 0 {
 		cfg.Tau = 0.6
 	}
-	if cfg.Tau <= 0.5 {
-		return nil, fmt.Errorf("lbmib: tau %g must exceed 0.5 (viscosity must be positive)", cfg.Tau)
+	if err := core.ValidateTau(cfg.Tau); err != nil {
+		return nil, fmt.Errorf("lbmib: %w", err)
 	}
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
@@ -579,6 +579,26 @@ func (s *Simulation) SheetPositionsAt(i int) ([][3]float64, error) {
 		return nil, err
 	}
 	return append([][3]float64(nil), sh.X...), nil
+}
+
+// SheetVelocitiesAt returns a copy of sheet i's node velocities.
+func (s *Simulation) SheetVelocitiesAt(i int) ([][3]float64, error) {
+	sh, err := s.sheetAt(i)
+	if err != nil {
+		return nil, err
+	}
+	return append([][3]float64(nil), sh.Vel...), nil
+}
+
+// FluidSnapshot returns the complete fluid state as a slab grid with
+// normalized buffer parity, the representation the validation and
+// checkpointing layers consume. For the slab engines the returned grid
+// aliases live solver storage: treat it as read-only and re-request it
+// after stepping.
+func (s *Simulation) FluidSnapshot() *grid.Grid {
+	g := s.eng.snapshot()
+	g.Normalize()
+	return g
 }
 
 // SheetCentroidAt returns sheet i's mean node position.

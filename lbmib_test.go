@@ -29,6 +29,9 @@ func TestNewValidation(t *testing.T) {
 	cases := []Config{
 		{NX: 0, NY: 8, NZ: 8},
 		{NX: 8, NY: 8, NZ: 8, Tau: 0.4},
+		{NX: 8, NY: 8, NZ: 8, Tau: 0.5}, // boundary: τ must strictly exceed 0.5
+		{NX: 8, NY: 8, NZ: 8, Tau: math.NaN()},
+		{NX: 8, NY: 8, NZ: 8, Tau: math.Inf(1)},
 		{NX: 8, NY: 8, NZ: 8, Solver: SolverKind(9)},
 		{NX: 8, NY: 8, NZ: 8, Sheet: &SheetConfig{NumFibers: 0, NodesPerFiber: 3}},
 		{NX: 10, NY: 8, NZ: 8, Solver: CubeBased, CubeSize: 4}, // indivisible
@@ -37,6 +40,26 @@ func TestNewValidation(t *testing.T) {
 		if _, err := New(c); err == nil {
 			t.Fatalf("case %d: invalid config accepted: %+v", i, c)
 		}
+	}
+}
+
+// Every engine name round-trips through its parser, and unknown names
+// are rejected with a hint.
+func TestSolverKindRoundTrip(t *testing.T) {
+	for _, k := range []SolverKind{Sequential, OpenMP, CubeBased, TaskScheduled} {
+		got, err := ParseSolverKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseSolverKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseSolverKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseSolverKind("mpi"); err == nil || !strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("unknown solver name accepted: %v", err)
+	}
+	if name := SolverKind(9).String(); !strings.Contains(name, "9") {
+		t.Fatalf("out-of-range kind stringifies to %q", name)
 	}
 }
 

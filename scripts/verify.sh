@@ -1,9 +1,13 @@
 #!/bin/sh
-# Tier-1 verification: build + full test suite, static checks, and the
-# race detector on the packages where concurrency bugs would hide
-# (telemetry sinks are called from every worker thread; the cube solver
-# owns the P×Q×R barrier choreography; the omp and cube engines flip the
-# shared double-buffer parity bit from worker threads; soa swaps slices).
+# Tier-1 verification: build + full test suite, static checks, the race
+# detector on the packages where concurrency bugs would hide (telemetry
+# sinks are called from every worker thread; the cube solver owns the
+# P×Q×R barrier choreography; the omp and cube engines flip the shared
+# double-buffer parity bit from worker threads; soa swaps slices; the
+# taskflow engine schedules cubes over a dependency graph; the cluster
+# solver exchanges halos between ranks), plus two differential-testing
+# smokes: a seeded cross-engine sweep and a short native-fuzz run of the
+# checkpoint decoder.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -11,4 +15,10 @@ cd "$(dirname "$0")/.."
 go build ./...
 go test ./...
 go vet ./...
-go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/soa/...
+go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/...
+
+# Cross-engine differential smoke: 10 seeded cases on every engine.
+go run ./cmd/lbmib-crosscheck -seeds 10
+
+# Checkpoint decoder fuzz smoke: arbitrary bytes must never panic.
+go test -run '^$' -fuzz '^FuzzRestore$' -fuzztime 10s .
