@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -21,10 +22,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmib-bench: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, copyswap, ablations or all")
+		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, imbalance, copyswap, ablations or all")
 		paper       = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
 		steps       = flag.Int("steps", 0, "override time steps for measured experiments")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and pprof on this address while benchmarks run")
+		out         = flag.String("out", "", "write the imbalance benchmark as schema-versioned JSON (default BENCH_imbalance.json with -exp imbalance; compare with scripts/bench_compare)")
+		heatmap     = flag.String("heatmap", "", "write the cube engine's per-cube work heatmap to this path (.tsv for TSV, else JSON)")
 	)
 	flag.Parse()
 	opt := experiments.Options{Paper: *paper, Steps: *steps}
@@ -66,6 +69,43 @@ func main() {
 		{"mlups", func() (string, error) {
 			r, err := experiments.MLUPS(opt, reg)
 			return r.Render(), err
+		}},
+		{"imbalance", func() (string, error) {
+			r, err := experiments.LoadImbalance(opt, reg)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			b.WriteString(r.Render())
+			path := *out
+			if path == "" && *exp == "imbalance" {
+				path = "BENCH_imbalance.json"
+			}
+			if path != "" {
+				if err := experiments.WriteBench(path, experiments.BenchFromImbalance(r)); err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&b, "benchmark written to %s (schema %s)\n", path, experiments.BenchSchema)
+			}
+			if *heatmap != "" && r.Heatmap != nil {
+				f, err := os.Create(*heatmap)
+				if err != nil {
+					return "", err
+				}
+				write := r.Heatmap.WriteJSON
+				if strings.HasSuffix(*heatmap, ".tsv") {
+					write = r.Heatmap.WriteTSV
+				}
+				werr := write(f)
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					return "", werr
+				}
+				fmt.Fprintf(&b, "heatmap written to %s\n", *heatmap)
+			}
+			return b.String(), nil
 		}},
 		{"copyswap", func() (string, error) {
 			r, err := experiments.AblationCopySwapEngines(opt, reg)

@@ -1,0 +1,64 @@
+// Command lbmib-benchcmp diffs two schema-versioned benchmark files
+// (see experiments.BenchFile) and reports tolerance violations. It is a
+// drift tripwire, not a CI gate: warnings go to stderr and the exit code
+// stays 0 unless -strict is set.
+//
+//	lbmib-benchcmp BENCH_baseline.json BENCH_imbalance.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lbmib/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbmib-benchcmp: ")
+	var (
+		strict   = flag.Bool("strict", false, "exit 1 on tolerance violations instead of warning")
+		mlupsRel = flag.Float64("mlups-rtol", 0, "relative MLUPS tolerance (0 = default)")
+		ratioAbs = flag.Float64("ratio-atol", 0, "absolute imbalance-ratio tolerance (0 = default)")
+		shareAbs = flag.Float64("share-atol", 0, "absolute wait-share tolerance (0 = default)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		log.Fatalf("usage: lbmib-benchcmp [flags] BASELINE.json CURRENT.json")
+	}
+
+	base, err := experiments.ReadBench(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	cur, err := experiments.ReadBench(flag.Arg(1))
+	if err != nil {
+		log.Fatalf("current: %v", err)
+	}
+
+	tol := experiments.DefaultBenchTolerance()
+	if *mlupsRel > 0 {
+		tol.MLUPSRel = *mlupsRel
+	}
+	if *ratioAbs > 0 {
+		tol.RatioAbs = *ratioAbs
+	}
+	if *shareAbs > 0 {
+		tol.ShareAbs = *shareAbs
+	}
+
+	warns := experiments.CompareBench(base, cur, tol)
+	if len(warns) == 0 {
+		fmt.Printf("ok: %s vs %s within tolerance (%d engines, kind %q)\n",
+			flag.Arg(0), flag.Arg(1), len(cur.Results), cur.Kind)
+		return
+	}
+	for _, w := range warns {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	if *strict {
+		os.Exit(1)
+	}
+}

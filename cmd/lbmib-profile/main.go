@@ -74,12 +74,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	obs := &fanObserver{prof: &perfmon.KernelProfile{}}
+	// One registry backs everything: the gprof-style report reads the
+	// same lbmib_kernel_nanos_total counters /metrics serves, so the two
+	// renderings cannot disagree.
+	reg := telemetry.NewRegistry()
+	obs := &fanObserver{prof: perfmon.NewKernelProfileIn(reg)}
 	if *traceOut != "" {
 		obs.tracer = telemetry.NewTracer()
 	}
 	if *metricsAddr != "" {
-		reg := telemetry.NewRegistry()
 		buckets := telemetry.ExpBuckets(1e-5, 2, 18)
 		for k := core.Kernel(1); k <= core.NumKernels; k++ {
 			obs.hist[k] = reg.Histogram("lbmib_kernel_seconds",

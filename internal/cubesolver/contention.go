@@ -1,0 +1,122 @@
+package cubesolver
+
+import "time"
+
+// BarrierSite identifies one of the global-barrier call sites of
+// Algorithm 4's time step, so barrier-wait attribution can say not just
+// *that* a thread waited but *which* dependency it waited on. The two
+// perKernel-only sites exist only under the BarrierPerKernel ablation
+// schedule.
+type BarrierSite int
+
+const (
+	// SiteAfterSpread orders force spreading before collision (the
+	// correctness barrier this implementation adds to the paper's
+	// schedule).
+	SiteAfterSpread BarrierSite = iota
+	// SiteAfterCollide separates collision from streaming under the
+	// BarrierPerKernel ablation.
+	SiteAfterCollide
+	// SiteAfterStream orders streaming before the velocity update (the
+	// paper's 1st barrier).
+	SiteAfterStream
+	// SiteAfterVelocity orders the velocity update before fiber movement
+	// (the paper's 2nd barrier).
+	SiteAfterVelocity
+	// SiteAfterMove separates fiber movement from the copy loop under
+	// the BarrierPerKernel ablation.
+	SiteAfterMove
+	// SiteEndOfStep is the end-of-step barrier (the paper's 3rd),
+	// publishing the buffer swap before any thread's next step.
+	SiteEndOfStep
+	// NumBarrierSites bounds the site space for fixed-size accumulators.
+	NumBarrierSites
+)
+
+var barrierSiteNames = [NumBarrierSites]string{
+	"after_spread", "after_collide", "after_stream",
+	"after_velocity", "after_move", "end_of_step",
+}
+
+// String names the barrier site.
+func (b BarrierSite) String() string {
+	if b < 0 || b >= NumBarrierSites {
+		return "unknown_site"
+	}
+	return barrierSiteNames[b]
+}
+
+// ContentionObserver receives per-thread synchronization costs: how long
+// each thread waited at each barrier site, and how long each spreading
+// lock acquisition blocked (attributed to both the waiting thread and
+// the lock's owner thread). Contended reports whether the lock was held
+// by someone else at acquisition time — uncontended acquisitions are
+// reported too (with wait 0) so contended-acquire *rates* can be
+// computed, not just totals.
+//
+// Callbacks arrive concurrently from all worker threads; implementations
+// must be safe for concurrent use.
+type ContentionObserver interface {
+	BarrierWait(site BarrierSite, tid int, wait time.Duration)
+	LockWait(waiter, owner int, wait time.Duration, contended bool)
+}
+
+// CubeWorkObserver samples per-cube work: the wall-clock time thread tid
+// spent processing cube c in phase p. The cube-indexed accumulation is
+// what the load heatmap renders — which cubes are expensive, and which
+// thread pays for them. Callbacks arrive concurrently from all workers.
+type CubeWorkObserver interface {
+	CubeWork(tid, c int, p Phase, d time.Duration)
+}
+
+// waitBarrier is the instrumented barrier: a plain Barrier.Wait when no
+// ContentionObserver is attached (the zero-overhead default), a timed
+// wait attributed to (site, tid) otherwise.
+func (s *Solver) waitBarrier(site BarrierSite, tid int) {
+	if s.Contention == nil {
+		s.barrier.Wait()
+		return
+	}
+	s.timedBarrier.Wait(int(site), tid)
+}
+
+// recordBarrierWait adapts par.BarrierWaitFunc to the observer; it is
+// bound once at construction so waitBarrier allocates nothing per call.
+func (s *Solver) recordBarrierWait(site, tid int, wait time.Duration) {
+	s.Contention.BarrierWait(BarrierSite(site), tid, wait)
+}
+
+// lockOwner acquires owner's spreading lock on behalf of waiter. When a
+// ContentionObserver is attached, a TryLock first distinguishes the
+// uncontended fast path (reported with zero wait) from a contended
+// acquisition whose blocking time is measured.
+func (s *Solver) lockOwner(waiter, owner int) {
+	l := &s.ownerLocks[owner]
+	if s.Contention == nil {
+		l.Lock()
+		return
+	}
+	if l.TryLock() {
+		s.Contention.LockWait(waiter, owner, 0, false)
+		return
+	}
+	t0 := time.Now()
+	l.Lock()
+	s.Contention.LockWait(waiter, owner, time.Since(t0), true)
+}
+
+// forOwnedCubesTimed is forOwnedCubes with per-cube wall-clock sampling
+// when a CubeWorkObserver is attached; without one it is exactly
+// forOwnedCubes.
+func (s *Solver) forOwnedCubesTimed(tid int, p Phase, fn func(c int)) {
+	if s.CubeWork == nil {
+		s.forOwnedCubes(tid, fn)
+		return
+	}
+	obs := s.CubeWork
+	s.forOwnedCubes(tid, func(c int) {
+		t0 := time.Now()
+		fn(c)
+		obs.CubeWork(tid, c, p, time.Since(t0))
+	})
+}

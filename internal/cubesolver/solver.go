@@ -122,14 +122,23 @@ type Solver struct {
 
 	Observer PhaseObserver
 
+	// Contention, when non-nil, receives per-thread barrier waits (by
+	// call site) and spreading-lock waits; CubeWork, when non-nil,
+	// receives per-cube per-phase work samples for the load heatmap.
+	// Both default to nil — the uninstrumented step takes the exact
+	// pre-existing code paths.
+	Contention ContentionObserver
+	CubeWork   CubeWorkObserver
+
 	// bc resolves boundary streaming with the body shared across engines
 	// (core.StreamBC), so the cube solver cannot drift from the reference.
 	bc core.StreamBC
 
-	team       *par.Team
-	barrier    *par.Barrier
-	ownerLocks []sync.Mutex // one private lock per thread
-	step       int
+	team         *par.Team
+	barrier      *par.Barrier
+	timedBarrier par.TimedBarrier // wraps barrier; used only with Contention set
+	ownerLocks   []sync.Mutex     // one private lock per thread
+	step         int
 
 	// streamDelta[i] is the in-cube flat offset of the e_i neighbor for
 	// nodes strictly inside a cube.
@@ -179,6 +188,7 @@ func NewSolver(cfg Config) (*Solver, error) {
 		barrier:    par.NewBarrier(cfg.Threads),
 		ownerLocks: make([]sync.Mutex, cfg.Threads),
 	}
+	s.timedBarrier = par.TimedBarrier{B: s.barrier, Rec: s.recordBarrierWait}
 	for i := 0; i < lattice.Q; i++ {
 		k := layout.K
 		s.streamDelta[i] = (lattice.E[i][0]*k+lattice.E[i][1])*k + lattice.E[i][2]
@@ -252,20 +262,20 @@ func (s *Solver) timeStep(step, tid int) {
 
 	// 1st loop: kernels 1–4 on owned fibers.
 	phase(PhaseFibersForce, func() { s.fiberForceLoop(tid) })
-	s.barrier.Wait() // spread → collision dependency (see package comment)
+	s.waitBarrier(SiteAfterSpread, tid) // spread → collision dependency (see package comment)
 
 	// 2nd loop: kernels 5–6 on owned cubes.
 	phase(PhaseCollideStream, func() { s.collideStreamLoop(tid, perKernel) })
-	s.barrier.Wait() // streaming → velocity-update dependency (paper's 1st barrier)
+	s.waitBarrier(SiteAfterStream, tid) // streaming → velocity-update dependency (paper's 1st barrier)
 
 	// 3rd loop: kernel 7 on owned cubes.
 	phase(PhaseUpdateVelocity, func() { s.updateVelocityLoop(tid) })
-	s.barrier.Wait() // velocity → move-fibers dependency (paper's 2nd barrier)
+	s.waitBarrier(SiteAfterVelocity, tid) // velocity → move-fibers dependency (paper's 2nd barrier)
 
 	// 4th loop: kernel 8 on owned fibers.
 	phase(PhaseMoveFibers, func() { s.moveFibersLoop(tid) })
 	if perKernel {
-		s.barrier.Wait()
+		s.waitBarrier(SiteAfterMove, tid)
 	}
 
 	// 5th loop: kernel 9. Retired by default: thread 0 flips the layout's
@@ -275,7 +285,7 @@ func (s *Solver) timeStep(step, tid int) {
 	// end-of-step barrier publishes it before any thread's next step. With
 	// LegacyCopy every thread copies its owned cubes as published.
 	phase(PhaseCopy, func() { s.copyLoop(tid) })
-	s.barrier.Wait() // end-of-step barrier (paper's 3rd)
+	s.waitBarrier(SiteEndOfStep, tid) // end-of-step barrier (paper's 3rd)
 }
 
 // allSheets resolves the Config's structure list.
@@ -303,7 +313,7 @@ func (s *Solver) fiberForceLoop(tid int) {
 		sh.ComputeStretchingForce(lo, hi)
 		sh.ComputeElasticForce(lo, hi)
 		for i := lo; i < hi; i++ {
-			s.spreadLocked(sh.X[i], sh.Force[i], area)
+			s.spreadLocked(tid, sh.X[i], sh.Force[i], area)
 		}
 	}
 }
@@ -312,8 +322,9 @@ func (s *Solver) fiberForceLoop(tid int) {
 // 4×4×4 influential domain is walked in layout order and the owner lock of
 // each target cube is held while its nodes are updated. Only one lock is
 // held at a time, so the scheme cannot deadlock; consecutive targets that
-// share an owner reuse the held lock.
-func (s *Solver) spreadLocked(x [3]float64, F [3]float64, area float64) {
+// share an owner reuse the held lock. tid is the spreading thread, used
+// only for lock-wait attribution.
+func (s *Solver) spreadLocked(tid int, x [3]float64, F [3]float64, area float64) {
 	var st ibm.Stencil
 	st.Compute(x)
 	l := s.Fluid
@@ -339,7 +350,7 @@ func (s *Solver) spreadLocked(x [3]float64, F [3]float64, area float64) {
 					if held >= 0 {
 						s.ownerLocks[held].Unlock()
 					}
-					s.ownerLocks[owner].Lock()
+					s.lockOwner(tid, owner)
 					held = owner
 				}
 				n := &l.Nodes[l.Idx(gx, gy, gz)]
@@ -360,12 +371,12 @@ func (s *Solver) spreadLocked(x [3]float64, F [3]float64, area float64) {
 // schedule fuses them per cube as in Algorithm 4.
 func (s *Solver) collideStreamLoop(tid int, perKernel bool) {
 	if perKernel {
-		s.forOwnedCubes(tid, func(c int) { s.collideCube(c) })
-		s.barrier.Wait()
-		s.forOwnedCubes(tid, func(c int) { s.streamCube(c) })
+		s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) { s.collideCube(c) })
+		s.waitBarrier(SiteAfterCollide, tid)
+		s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) { s.streamCube(c) })
 		return
 	}
-	s.forOwnedCubes(tid, func(c int) {
+	s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) {
 		s.collideCube(c)
 		s.streamCube(c)
 	})
@@ -450,7 +461,7 @@ func (s *Solver) streamNode(x, y, z int) {
 func (s *Solver) updateVelocityLoop(tid int) {
 	next := 1 - s.Fluid.Cur()
 	body := s.BodyForce
-	s.forOwnedCubes(tid, func(c int) {
+	s.forOwnedCubesTimed(tid, PhaseUpdateVelocity, func(c int) {
 		nodes := s.Fluid.CubeNodes(c)
 		for i := range nodes {
 			core.UpdateVelocityNodeBuf(&nodes[i], next)
@@ -486,7 +497,7 @@ func (s *Solver) copyLoop(tid int) {
 		return
 	}
 	cur := s.Fluid.Cur()
-	s.forOwnedCubes(tid, func(c int) {
+	s.forOwnedCubesTimed(tid, PhaseCopy, func(c int) {
 		nodes := s.Fluid.CubeNodes(c)
 		for i := range nodes {
 			*nodes[i].Buf(cur) = *nodes[i].Buf(1 - cur)

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// BenchSchema versions the persisted benchmark baseline format. Bump it
+// whenever BenchFile's shape or the meaning of a field changes, so a
+// comparator never silently diffs incompatible files.
+const BenchSchema = "lbmib-bench/v1"
+
+// BenchFile is the persisted, machine-comparable result of one benchmark
+// experiment — the baseline committed to the repository and the fresh
+// run scripts/bench_compare diffs against it.
+type BenchFile struct {
+	Schema     string         `json:"schema"`
+	Kind       string         `json:"kind"` // experiment name, e.g. "imbalance"
+	Grid       [3]int         `json:"grid"`
+	CubeSize   int            `json:"cubeSize,omitempty"`
+	Threads    int            `json:"threads"`
+	Steps      int            `json:"steps"`
+	FiberNodes int            `json:"fiberNodes"`
+	Results    []ImbalanceRow `json:"results"`
+}
+
+// BenchFromImbalance packages a load-imbalance run for persistence.
+func BenchFromImbalance(r ImbalanceResult) BenchFile {
+	return BenchFile{
+		Schema: BenchSchema, Kind: "imbalance",
+		Grid: [3]int{r.NX, r.NY, r.NZ}, CubeSize: r.CubeSize,
+		Threads: r.Threads, Steps: r.Steps, FiberNodes: r.FiberNodes,
+		Results: r.Rows,
+	}
+}
+
+// Validate checks the file is a well-formed benchmark of a known schema.
+func (b BenchFile) Validate() error {
+	if b.Schema != BenchSchema {
+		return fmt.Errorf("schema %q, want %q", b.Schema, BenchSchema)
+	}
+	if b.Kind == "" {
+		return fmt.Errorf("missing kind")
+	}
+	if len(b.Results) == 0 {
+		return fmt.Errorf("no results")
+	}
+	for i, r := range b.Results {
+		if r.Engine == "" {
+			return fmt.Errorf("result %d: missing engine", i)
+		}
+		if r.MLUPS < 0 || math.IsNaN(r.MLUPS) {
+			return fmt.Errorf("result %d (%s): bad mlups %v", i, r.Engine, r.MLUPS)
+		}
+		if r.ImbalanceRatio < 0 || math.IsNaN(r.ImbalanceRatio) {
+			return fmt.Errorf("result %d (%s): bad imbalance ratio %v", i, r.Engine, r.ImbalanceRatio)
+		}
+	}
+	return nil
+}
+
+// WriteBench writes the benchmark as indented JSON.
+func WriteBench(path string, b BenchFile) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBench loads and validates a persisted benchmark.
+func ReadBench(path string) (BenchFile, error) {
+	var b BenchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := b.Validate(); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// BenchTolerance bounds how far a fresh run may drift from the baseline
+// before the comparator warns. Throughput is compared relatively (VM and
+// laptop runs are noisy); the dimensionless ratios and shares absolutely.
+type BenchTolerance struct {
+	MLUPSRel float64 // relative MLUPS drift, e.g. 0.5 = ±50%
+	RatioAbs float64 // absolute imbalance-ratio drift
+	ShareAbs float64 // absolute wait-share drift
+}
+
+// DefaultBenchTolerance is deliberately loose: the comparator is a
+// drift tripwire for unshared machines, not a CI performance gate.
+func DefaultBenchTolerance() BenchTolerance {
+	return BenchTolerance{MLUPSRel: 0.60, RatioAbs: 1.0, ShareAbs: 0.30}
+}
+
+// CompareBench diffs a fresh benchmark against a baseline and returns
+// human-readable warnings, one per exceeded tolerance or structural
+// mismatch. An empty slice means the run is within tolerance.
+func CompareBench(base, cur BenchFile, tol BenchTolerance) []string {
+	var warns []string
+	if base.Kind != cur.Kind {
+		warns = append(warns, fmt.Sprintf("kind mismatch: baseline %q vs current %q", base.Kind, cur.Kind))
+		return warns
+	}
+	if base.Grid != cur.Grid || base.Threads != cur.Threads || base.Steps != cur.Steps {
+		warns = append(warns, fmt.Sprintf(
+			"configuration mismatch: baseline grid=%v threads=%d steps=%d vs current grid=%v threads=%d steps=%d (comparing anyway)",
+			base.Grid, base.Threads, base.Steps, cur.Grid, cur.Threads, cur.Steps))
+	}
+	baseBy := map[string]ImbalanceRow{}
+	for _, r := range base.Results {
+		baseBy[r.Engine] = r
+	}
+	for _, c := range cur.Results {
+		b, ok := baseBy[c.Engine]
+		if !ok {
+			warns = append(warns, fmt.Sprintf("engine %q absent from baseline", c.Engine))
+			continue
+		}
+		delete(baseBy, c.Engine)
+		if b.MLUPS > 0 {
+			if rel := math.Abs(c.MLUPS-b.MLUPS) / b.MLUPS; rel > tol.MLUPSRel {
+				warns = append(warns, fmt.Sprintf("%s: MLUPS drifted %.0f%% (baseline %.2f, current %.2f, tolerance ±%.0f%%)",
+					c.Engine, 100*rel, b.MLUPS, c.MLUPS, 100*tol.MLUPSRel))
+			}
+		}
+		if d := math.Abs(c.ImbalanceRatio - b.ImbalanceRatio); d > tol.RatioAbs {
+			warns = append(warns, fmt.Sprintf("%s: imbalance ratio drifted %.3f (baseline %.3f, current %.3f, tolerance %.3f)",
+				c.Engine, d, b.ImbalanceRatio, c.ImbalanceRatio, tol.RatioAbs))
+		}
+		if d := math.Abs(c.BarrierWaitShare - b.BarrierWaitShare); d > tol.ShareAbs {
+			warns = append(warns, fmt.Sprintf("%s: barrier-wait share drifted %.3f (baseline %.3f, current %.3f, tolerance %.3f)",
+				c.Engine, d, b.BarrierWaitShare, c.BarrierWaitShare, tol.ShareAbs))
+		}
+		if d := math.Abs(c.LockWaitShare - b.LockWaitShare); d > tol.ShareAbs {
+			warns = append(warns, fmt.Sprintf("%s: lock-wait share drifted %.3f (baseline %.3f, current %.3f, tolerance %.3f)",
+				c.Engine, d, b.LockWaitShare, c.LockWaitShare, tol.ShareAbs))
+		}
+	}
+	for eng := range baseBy {
+		warns = append(warns, fmt.Sprintf("engine %q present in baseline but missing from current run", eng))
+	}
+	return warns
+}

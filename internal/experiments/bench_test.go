@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleBench() BenchFile {
+	return BenchFile{
+		Schema: BenchSchema, Kind: "imbalance",
+		Grid: [3]int{32, 32, 32}, CubeSize: 4, Threads: 4, Steps: 10, FiberNodes: 338,
+		Results: []ImbalanceRow{
+			{Engine: "omp", Threads: 4, MLUPS: 3.0, ImbalanceRatio: 1.6, BarrierWaitShare: 0.45, LockWaitShare: 0.002, TotalAcquires: 100},
+			{Engine: "cube", Threads: 4, MLUPS: 2.2, ImbalanceRatio: 1.2, BarrierWaitShare: 0.48, LockWaitShare: 0.006, ContendedAcquires: 10, TotalAcquires: 7000},
+		},
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := sampleBench()
+	if err := WriteBench(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchema || got.Kind != "imbalance" || len(got.Results) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Results[1].ContendedAcquires != 10 || got.Results[0].MLUPS != 3.0 {
+		t.Fatalf("row fields lost: %+v", got.Results)
+	}
+}
+
+func TestBenchValidate(t *testing.T) {
+	b := sampleBench()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	bad := sampleBench()
+	bad.Schema = "lbmib-bench/v0"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	bad = sampleBench()
+	bad.Results = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty results accepted")
+	}
+	bad = sampleBench()
+	bad.Results[0].Engine = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing engine accepted")
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := sampleBench()
+	tol := DefaultBenchTolerance()
+
+	if warns := CompareBench(base, base, tol); len(warns) != 0 {
+		t.Fatalf("self-compare warned: %v", warns)
+	}
+
+	// MLUPS drift beyond the relative tolerance.
+	cur := sampleBench()
+	cur.Results[0].MLUPS = base.Results[0].MLUPS * (1 + tol.MLUPSRel + 0.1)
+	warns := CompareBench(base, cur, tol)
+	if len(warns) != 1 || !strings.Contains(warns[0], "MLUPS") || !strings.Contains(warns[0], "omp") {
+		t.Fatalf("want one omp MLUPS warning, got %v", warns)
+	}
+
+	// Drift inside the tolerance must stay silent.
+	cur = sampleBench()
+	cur.Results[1].ImbalanceRatio += tol.RatioAbs / 2
+	cur.Results[1].BarrierWaitShare += tol.ShareAbs / 2
+	if warns := CompareBench(base, cur, tol); len(warns) != 0 {
+		t.Fatalf("in-tolerance drift warned: %v", warns)
+	}
+
+	// Ratio drift beyond the absolute tolerance.
+	cur = sampleBench()
+	cur.Results[1].ImbalanceRatio += tol.RatioAbs + 0.5
+	warns = CompareBench(base, cur, tol)
+	if len(warns) != 1 || !strings.Contains(warns[0], "imbalance ratio") {
+		t.Fatalf("want ratio warning, got %v", warns)
+	}
+
+	// Missing and extra engines.
+	cur = sampleBench()
+	cur.Results = cur.Results[:1]
+	warns = CompareBench(base, cur, tol)
+	if len(warns) != 1 || !strings.Contains(warns[0], `"cube"`) {
+		t.Fatalf("want missing-engine warning, got %v", warns)
+	}
+
+	// Kind mismatch short-circuits.
+	cur = sampleBench()
+	cur.Kind = "mlups"
+	warns = CompareBench(base, cur, tol)
+	if len(warns) != 1 || !strings.Contains(warns[0], "kind mismatch") {
+		t.Fatalf("want kind warning, got %v", warns)
+	}
+}

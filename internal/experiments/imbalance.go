@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/cubesolver"
+	"lbmib/internal/fiber"
+	"lbmib/internal/omp"
+	"lbmib/internal/par"
+	"lbmib/internal/perfmon"
+	"lbmib/internal/telemetry"
+)
+
+// ImbalanceRow is one engine's measured load-balance and contention
+// profile — the reproduction of the paper's Table II imbalance column
+// plus the wait attribution it could not measure.
+type ImbalanceRow struct {
+	Engine  string  `json:"engine"`
+	Threads int     `json:"threads"`
+	Millis  float64 `json:"millis"`
+	MLUPS   float64 `json:"mlups"`
+	// ImbalanceRatio is max/mean of per-thread busy time (Table II's
+	// metric): 1 = perfectly balanced.
+	ImbalanceRatio float64 `json:"imbalanceRatio"`
+	// BarrierWaitShare is the fraction of total thread-time (threads ×
+	// wall) spent waiting at barriers (cube) or at the parallel regions'
+	// implicit barriers (omp).
+	BarrierWaitShare float64 `json:"barrierWaitShare"`
+	// LockWaitShare is the fraction of total thread-time blocked on
+	// spreading locks (per-owner locks for cube, x-plane locks for omp).
+	LockWaitShare     float64 `json:"lockWaitShare"`
+	ContendedAcquires int64   `json:"contendedAcquires"`
+	TotalAcquires     int64   `json:"totalAcquires"`
+	// PhaseImbalance is the per-phase (cube) or per-kernel (omp) max/mean
+	// ratio, keyed by phase/kernel name; phases with no samples are
+	// omitted.
+	PhaseImbalance map[string]float64 `json:"phaseImbalance,omitempty"`
+}
+
+// ImbalanceResult is the OpenMP-vs-cube contention comparison on one
+// multi-sheet problem.
+type ImbalanceResult struct {
+	NX, NY, NZ int
+	CubeSize   int
+	Threads    int
+	Steps      int
+	FiberNodes int
+	Rows       []ImbalanceRow
+	// Heatmap holds the cube engine's per-cube work samples, exportable
+	// via its WriteJSON/WriteTSV.
+	Heatmap *perfmon.CubeHeatmap
+}
+
+// imbalanceGrid returns the contention-comparison problem size: a
+// two-sheet structure (the paper's "a number of 2-D sheets") so cross-
+// thread force spreading actually contends.
+func (o Options) imbalanceGrid() (nx, ny, nz, steps, threads int) {
+	if o.Paper {
+		nx, ny, nz, steps, threads = 124, 64, 64, 100, 8
+	} else {
+		nx, ny, nz, steps, threads = 32, 32, 32, 10, 4
+	}
+	if o.Steps > 0 {
+		steps = o.Steps
+	}
+	return
+}
+
+// twoSheets places the scaled sheet twice, offset along y so both spread
+// into overlapping cube neighborhoods near the domain center.
+func (o Options) twoSheets(nx, ny, nz int) []*fiber.Sheet {
+	n := 13
+	if o.Paper {
+		n = 52
+	}
+	w := float64(n) * 0.4
+	mk := func(oy float64) *fiber.Sheet {
+		return fiber.NewSheet(fiber.Params{
+			NumFibers: n, NodesPerFiber: n, Width: w, Height: w,
+			Origin: fiber.Vec3{float64(nx) / 4, oy, float64(nz)/2 - w/2},
+			Ks:     0.05, Kb: 0.001,
+		})
+	}
+	mid := float64(ny) / 2
+	return []*fiber.Sheet{mk(mid - w - 0.7), mk(mid + 0.7)}
+}
+
+// LoadImbalance reproduces the Table II OpenMP-vs-cube load-imbalance
+// comparison with the contention attribution layer: both engines run the
+// same two-sheet problem under their wait profiles, and the result rows
+// carry the imbalance ratio plus the barrier- and lock-wait shares of
+// total thread-time. With a non-nil reg the rows are also published as
+// lbmib_load_imbalance_ratio{engine,phase} gauges (phase "total" for the
+// whole step) and the contention profiles as lbmib_barrier_wait_seconds
+// / lbmib_lock_wait_seconds.
+func LoadImbalance(opt Options, reg *telemetry.Registry) (ImbalanceResult, error) {
+	nx, ny, nz, steps, threads := opt.imbalanceGrid()
+	nodes := float64(nx) * float64(ny) * float64(nz)
+
+	// The worker threads must be able to overlap for waits to mean
+	// anything; on a scheduler narrower than the team, widen it for the
+	// duration of the measurement.
+	if prev := runtime.GOMAXPROCS(0); prev < threads {
+		runtime.GOMAXPROCS(threads)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	res := ImbalanceResult{
+		NX: nx, NY: ny, NZ: nz, CubeSize: 4, Threads: threads, Steps: steps,
+	}
+	for _, sh := range opt.twoSheets(nx, ny, nz) {
+		res.FiberNodes += sh.NumNodes()
+	}
+
+	publish := func(row ImbalanceRow) {
+		res.Rows = append(res.Rows, row)
+		if reg == nil {
+			return
+		}
+		eng := telemetry.L("engine", row.Engine)
+		reg.Gauge("lbmib_bench_mlups", "Throughput per engine (million lattice updates per second).", eng).Set(row.MLUPS)
+		reg.Gauge("lbmib_load_imbalance_ratio",
+			"max/mean per-thread phase time (Table II load-imbalance metric)",
+			eng, telemetry.L("phase", "total")).Set(row.ImbalanceRatio)
+		for phase, ratio := range row.PhaseImbalance {
+			reg.Gauge("lbmib_load_imbalance_ratio",
+				"max/mean per-thread phase time (Table II load-imbalance metric)",
+				eng, telemetry.L("phase", phase)).Set(ratio)
+		}
+	}
+
+	// --- OpenMP-style engine ---
+	{
+		s, err := omp.NewSolver(omp.Config{
+			Config: core.Config{
+				NX: nx, NY: ny, NZ: nz, Tau: 0.7,
+				BodyForce: [3]float64{2e-5, 0, 0},
+				Sheets:    opt.twoSheets(nx, ny, nz),
+			},
+			Threads: threads,
+		})
+		if err != nil {
+			return res, fmt.Errorf("omp: %w", err)
+		}
+		regions := perfmon.NewRegionProfile(threads)
+		locks := perfmon.NewContentionProfile(threads, nx) // owner = x-plane
+		s.Regions = regions
+		s.Locks = locks
+		t0 := time.Now()
+		s.Run(steps)
+		wall := time.Since(t0)
+		s.Close()
+
+		row := ImbalanceRow{
+			Engine: "omp", Threads: threads,
+			Millis:            float64(wall.Milliseconds()),
+			MLUPS:             nodes * float64(steps) / wall.Seconds() / 1e6,
+			ImbalanceRatio:    regions.ImbalanceRatio(),
+			BarrierWaitShare:  regions.BarrierWaitShare(),
+			LockWaitShare:     locks.LockWaitTotal().Seconds() / (float64(threads) * wall.Seconds()),
+			ContendedAcquires: locks.ContendedAcquires(),
+			TotalAcquires:     locks.TotalAcquires(),
+			PhaseImbalance:    map[string]float64{},
+		}
+		for k := core.Kernel(1); k <= core.NumKernels; k++ {
+			if r := regions.KernelImbalanceRatio(k); r > 0 {
+				row.PhaseImbalance[k.String()] = r
+			}
+		}
+		locks.Publish(reg, "omp")
+		publish(row)
+	}
+
+	// --- cube-based engine ---
+	{
+		s, err := cubesolver.NewSolver(cubesolver.Config{
+			NX: nx, NY: ny, NZ: nz, CubeSize: res.CubeSize, Threads: threads, Tau: 0.7,
+			BodyForce: [3]float64{2e-5, 0, 0},
+			Sheets:    opt.twoSheets(nx, ny, nz),
+			Dist:      par.Block,
+		})
+		if err != nil {
+			return res, fmt.Errorf("cube: %w", err)
+		}
+		phases := perfmon.NewPhaseProfile(threads)
+		cont := perfmon.NewContentionProfile(threads, threads)
+		heat := perfmon.NewCubeHeatmap(s.Fluid.CX, s.Fluid.CY, s.Fluid.CZ, s.Fluid.K, threads)
+		s.Observer = phases
+		s.Contention = cont
+		s.CubeWork = heat
+		t0 := time.Now()
+		s.Run(steps)
+		wall := time.Since(t0)
+		s.Close()
+
+		threadTime := float64(threads) * wall.Seconds()
+		row := ImbalanceRow{
+			Engine: "cube", Threads: threads,
+			Millis:            float64(wall.Milliseconds()),
+			MLUPS:             nodes * float64(steps) / wall.Seconds() / 1e6,
+			ImbalanceRatio:    phases.ImbalanceRatio(),
+			BarrierWaitShare:  cont.BarrierWaitTotal().Seconds() / threadTime,
+			LockWaitShare:     cont.LockWaitTotal().Seconds() / threadTime,
+			ContendedAcquires: cont.ContendedAcquires(),
+			TotalAcquires:     cont.TotalAcquires(),
+			PhaseImbalance:    map[string]float64{},
+		}
+		for ph := cubesolver.Phase(1); ph <= cubesolver.NumPhases; ph++ {
+			if r := phases.PhaseImbalanceRatio(ph); r > 0 {
+				row.PhaseImbalance[ph.String()] = r
+			}
+		}
+		cont.Publish(reg, "cube")
+		res.Heatmap = heat
+		publish(row)
+	}
+
+	return res, nil
+}
+
+// Render formats the contention comparison.
+func (r ImbalanceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Load imbalance & contention (%d×%d×%d fluid, k=%d, %d fiber nodes, %d threads, %d steps)\n",
+		r.NX, r.NY, r.NZ, r.CubeSize, r.FiberNodes, r.Threads, r.Steps)
+	b.WriteString(header(fmt.Sprintf("%-8s", "Engine"), "  MLUPS", "imbal(max/mean)", "barrier-wait%", "lock-wait%", "contended/acquires"))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s  %6.2f  %15.3f  %12.2f%%  %9.3f%%  %10d/%d\n",
+			row.Engine, row.MLUPS, row.ImbalanceRatio,
+			100*row.BarrierWaitShare, 100*row.LockWaitShare,
+			row.ContendedAcquires, row.TotalAcquires)
+	}
+	return b.String()
+}

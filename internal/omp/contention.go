@@ -1,0 +1,48 @@
+package omp
+
+import (
+	"time"
+
+	"lbmib/internal/core"
+)
+
+// RegionObserver receives, after each parallel region completes, the
+// per-thread busy time inside that region: busy[tid] is how long thread
+// tid spent executing loop chunks (the rest of the region's wall time
+// was spent waiting at the region's implicit barrier). This is the
+// OmpP-style measurement behind the paper's Table II load-imbalance
+// column — max(busy)/mean(busy) per region.
+//
+// RegionDone is called from the coordinating goroutine once per region,
+// after all workers have joined; the busy slice is reused and must not
+// be retained.
+type RegionObserver interface {
+	RegionDone(step int, k core.Kernel, busy []time.Duration)
+}
+
+// LockObserver receives one event per x-plane lock acquisition during
+// force spreading: the waiting thread, the plane (the lock's identity),
+// how long the acquisition blocked, and whether it was contended at all.
+// Uncontended acquisitions report a zero wait so contention *rates* can
+// be derived. Callbacks arrive concurrently from all worker threads.
+type LockObserver interface {
+	LockWait(waiter, plane int, wait time.Duration, contended bool)
+}
+
+// lockPlane acquires the x-plane lock for the spreading thread tid,
+// measuring contention when a LockObserver is attached; without one it
+// is a plain Lock.
+func (s *Solver) lockPlane(tid, plane int) {
+	l := &s.planeLocks[plane]
+	if s.Locks == nil {
+		l.Lock()
+		return
+	}
+	if l.TryLock() {
+		s.Locks.LockWait(tid, plane, 0, false)
+		return
+	}
+	t0 := time.Now()
+	l.Lock()
+	s.Locks.LockWait(tid, plane, time.Since(t0), true)
+}

@@ -61,8 +61,15 @@ type Solver struct {
 	Chunk      int
 	LegacyCopy bool
 
+	// Regions, when non-nil, receives per-thread busy times for every
+	// parallel region; Locks, when non-nil, receives per-acquisition
+	// spreading-lock waits. Both default to nil (zero overhead).
+	Regions RegionObserver
+	Locks   LockObserver
+
 	team       *par.Team
 	planeLocks []sync.Mutex // one per x-plane, guards Force accumulation
+	curKernel  core.Kernel  // kernel whose region is running, for Regions
 }
 
 // NewSolver builds the parallel solver and starts its thread team. Like
@@ -119,19 +126,36 @@ func (s *Solver) SeedForce() {
 func (s *Solver) Close() { s.team.Close() }
 
 // parallelFor dispatches a loop of n iterations under the configured
-// schedule.
+// schedule. With a RegionObserver attached, each thread's busy time
+// inside the region is accumulated (each thread writes only its own
+// slot) and reported once from the coordinator after the implicit
+// barrier.
 func (s *Solver) parallelFor(n int, body func(tid, lo, hi int)) {
-	if s.Schedule == Dynamic {
-		s.team.ForDynamic(n, s.Chunk, body)
-		return
+	run := body
+	var busy []time.Duration
+	if s.Regions != nil {
+		busy = make([]time.Duration, s.Threads)
+		run = func(tid, lo, hi int) {
+			t0 := time.Now()
+			body(tid, lo, hi)
+			busy[tid] += time.Since(t0)
+		}
 	}
-	s.team.ForStatic(n, body)
+	if s.Schedule == Dynamic {
+		s.team.ForDynamic(n, s.Chunk, run)
+	} else {
+		s.team.ForStatic(n, run)
+	}
+	if busy != nil {
+		s.Regions.RegionDone(s.StepCount(), s.curKernel, busy)
+	}
 }
 
 // Step advances one time step by running the nine kernels as parallel
 // regions in Algorithm 1 order.
 func (s *Solver) Step() {
 	run := func(k core.Kernel, fn func()) {
+		s.curKernel = k
 		if s.Observer == nil {
 			fn()
 			return
@@ -208,15 +232,17 @@ func (s *Solver) ComputeElasticForce() {
 }
 
 // lockedPlanes adapts the fluid grid as an ibm.ForceAccumulator whose
-// accumulation is serialized per x-plane.
+// accumulation is serialized per x-plane; tid identifies the spreading
+// thread for lock-wait attribution.
 type lockedPlanes struct {
-	s *Solver
+	s   *Solver
+	tid int
 }
 
 func (l lockedPlanes) AddForce(x, y, z int, f [3]float64) {
 	g := l.s.Fluid
 	wx, wy, wz := g.Wrap(x, y, z)
-	l.s.planeLocks[wx].Lock()
+	l.s.lockPlane(l.tid, wx)
 	n := &g.Nodes[g.Idx(wx, wy, wz)]
 	n.Force[0] += f[0]
 	n.Force[1] += f[1]
@@ -232,8 +258,8 @@ func (s *Solver) SpreadForce() {
 	if len(s.Sheets) == 0 {
 		return
 	}
-	acc := lockedPlanes{s}
-	s.parallelFor(fiber.TotalFibers(s.Sheets), func(_, lo, hi int) {
+	s.parallelFor(fiber.TotalFibers(s.Sheets), func(tid, lo, hi int) {
+		acc := lockedPlanes{s: s, tid: tid}
 		s.forEachFiber(lo, hi, func(sh *fiber.Sheet, a, b int) {
 			area := sh.AreaElement()
 			for i := a; i < b; i++ {

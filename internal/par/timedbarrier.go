@@ -1,0 +1,38 @@
+package par
+
+import "time"
+
+// BarrierWaitFunc receives one participant's wait at one barrier call
+// site: the time between the thread arriving at the barrier and the
+// barrier releasing it. Site identifiers are caller-defined small
+// integers (the cube solver names its Algorithm-4 barrier sites with
+// them).
+type BarrierWaitFunc func(site, tid int, wait time.Duration)
+
+// TimedBarrier wraps a Barrier with per-participant wait attribution:
+// every Wait is timed and reported to Rec together with the call site
+// and the waiting thread. The underlying barrier is shared — timed and
+// plain Wait calls synchronize with each other, so a solver can switch
+// instrumentation on without replacing its barrier.
+//
+// A TimedBarrier is a small value; constructing one per use is free. A
+// nil Rec degrades to a plain Wait, so the wrapper itself is never the
+// thing a caller must make conditional.
+type TimedBarrier struct {
+	B   *Barrier
+	Rec BarrierWaitFunc
+}
+
+// Wait blocks on the wrapped barrier and reports how long participant
+// tid waited at the given site. The last thread to arrive records ~0
+// wait; the attribution therefore flags slow threads by their *small*
+// wait (everyone else accumulated time waiting for them).
+func (t TimedBarrier) Wait(site, tid int) {
+	if t.Rec == nil {
+		t.B.Wait()
+		return
+	}
+	t0 := time.Now()
+	t.B.Wait()
+	t.Rec(site, tid, time.Since(t0))
+}

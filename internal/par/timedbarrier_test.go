@@ -1,0 +1,110 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTimedBarrierSkewAttribution pins one artificially slow participant
+// and checks the wait-time attribution: the slow thread should record
+// (almost) no wait — it arrives last — while every other thread records
+// roughly the injected delay. Run under -race with 8 participants this
+// also exercises the recorder from all threads concurrently.
+func TestTimedBarrierSkewAttribution(t *testing.T) {
+	const (
+		n     = 8
+		slow  = 5
+		delay = 20 * time.Millisecond
+		steps = 3
+	)
+	var mu sync.Mutex
+	waits := make([]time.Duration, n) // summed over steps
+	sites := make(map[int]int)
+	tb := TimedBarrier{
+		B: NewBarrier(n),
+		Rec: func(site, tid int, w time.Duration) {
+			mu.Lock()
+			waits[tid] += w
+			sites[site]++
+			mu.Unlock()
+		},
+	}
+
+	team := NewTeam(n)
+	defer team.Close()
+	team.Run(func(tid int) {
+		for s := 0; s < steps; s++ {
+			if tid == slow {
+				time.Sleep(delay)
+			}
+			tb.Wait(7, tid)
+		}
+	})
+
+	if got := sites[7]; got != n*steps {
+		t.Fatalf("site 7 recorded %d waits, want %d", got, n*steps)
+	}
+	// The slow thread must have the minimum accumulated wait, and every
+	// fast thread must have waited a substantial fraction of the injected
+	// skew (scheduling noise keeps this from being exact).
+	min := 0
+	for tid := range waits {
+		if waits[tid] < waits[min] {
+			min = tid
+		}
+	}
+	if min != slow {
+		t.Fatalf("min barrier wait at thread %d (waits %v), want slow thread %d", min, waits, slow)
+	}
+	for tid, w := range waits {
+		if tid == slow {
+			continue
+		}
+		if w < steps*delay/2 {
+			t.Errorf("fast thread %d waited only %v, want ≥ %v", tid, w, steps*delay/2)
+		}
+	}
+}
+
+// TestTimedBarrierNilRec checks the uninstrumented path is a plain
+// barrier: all participants are released together and nothing panics.
+func TestTimedBarrierNilRec(t *testing.T) {
+	const n = 4
+	tb := TimedBarrier{B: NewBarrier(n)}
+	var phase int64
+	team := NewTeam(n)
+	defer team.Close()
+	team.Run(func(tid int) {
+		for s := 0; s < 100; s++ {
+			if got := atomic.LoadInt64(&phase); got != int64(s) {
+				t.Errorf("tid %d saw phase %d at step %d", tid, got, s)
+			}
+			tb.Wait(0, tid)
+			if tid == 0 {
+				atomic.AddInt64(&phase, 1)
+			}
+			tb.Wait(1, tid)
+		}
+	})
+}
+
+// TestTimedBarrierSingleThread checks the degenerate one-participant
+// barrier stays a no-op (and still reports a zero-ish wait).
+func TestTimedBarrierSingleThread(t *testing.T) {
+	called := 0
+	tb := TimedBarrier{B: NewBarrier(1), Rec: func(site, tid int, w time.Duration) {
+		called++
+		if site != 3 || tid != 0 {
+			t.Errorf("got site=%d tid=%d", site, tid)
+		}
+		if w > time.Second {
+			t.Errorf("implausible wait %v for 1-thread barrier", w)
+		}
+	}}
+	tb.Wait(3, 0)
+	if called != 1 {
+		t.Fatalf("recorder called %d times, want 1", called)
+	}
+}

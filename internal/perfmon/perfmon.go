@@ -6,13 +6,25 @@
 //     kernel, ranked).
 //   - PhaseProfile accumulates per-thread time per Algorithm-4 loop nest
 //     and computes the load-imbalance ratio of Table II.
+//   - ContentionProfile attributes barrier and spreading-lock waits to
+//     threads and owners; RegionProfile does the OmpP-style per-region
+//     accounting for the loop-parallel engine; CubeHeatmap samples
+//     per-cube work (contention.go).
 //   - ScheduleImbalance computes the deterministic component of load
 //     imbalance implied by a static schedule, independent of timers.
+//
+// The profiles store their numbers in telemetry.Counter series (exact
+// integer nanoseconds) registered in a telemetry.Registry. A profile
+// built with the New*In constructors shares the caller's registry, so
+// the text reports here and the /metrics exposition render the same
+// counters and cannot disagree; zero-value/legacy constructors bind a
+// private registry lazily.
 package perfmon
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -20,16 +32,52 @@ import (
 	"lbmib/internal/core"
 	"lbmib/internal/cubesolver"
 	"lbmib/internal/par"
+	"lbmib/internal/telemetry"
 )
 
 // KernelProfile implements core.Observer, accumulating total time per
 // kernel. It is safe for concurrent use (the OpenMP-style solver reports
 // from its coordinating goroutine only, but the API does not promise
-// that).
+// that). The zero value is usable and accumulates into a private
+// registry; NewKernelProfileIn shares an existing one.
 type KernelProfile struct {
-	mu    sync.Mutex
-	total [core.NumKernels + 1]time.Duration
-	calls [core.NumKernels + 1]int
+	once  sync.Once
+	reg   *telemetry.Registry
+	nanos [core.NumKernels + 1]*telemetry.Counter
+	calls [core.NumKernels + 1]*telemetry.Counter
+}
+
+// NewKernelProfileIn creates a profile whose counters live in reg as
+// lbmib_kernel_nanos_total{kernel} and lbmib_kernel_calls_total{kernel},
+// so any exposition of reg carries exactly the numbers this profile
+// reports. A nil reg binds a private registry.
+func NewKernelProfileIn(reg *telemetry.Registry) *KernelProfile {
+	p := &KernelProfile{reg: reg}
+	p.init()
+	return p
+}
+
+// init binds the counter series; it runs at most once, lazily, so the
+// zero value keeps working.
+func (p *KernelProfile) init() {
+	p.once.Do(func() {
+		if p.reg == nil {
+			p.reg = telemetry.NewRegistry()
+		}
+		for k := core.Kernel(1); k <= core.NumKernels; k++ {
+			lbl := telemetry.L("kernel", k.String())
+			p.nanos[k] = p.reg.Counter("lbmib_kernel_nanos_total",
+				"accumulated wall-clock nanoseconds per LBM-IB kernel", lbl)
+			p.calls[k] = p.reg.Counter("lbmib_kernel_calls_total",
+				"kernel executions recorded", lbl)
+		}
+	})
+}
+
+// Registry returns the registry holding this profile's counter series.
+func (p *KernelProfile) Registry() *telemetry.Registry {
+	p.init()
+	return p.reg
 }
 
 // KernelDone records one kernel execution.
@@ -37,35 +85,37 @@ func (p *KernelProfile) KernelDone(step int, k core.Kernel, d time.Duration) {
 	if k < 1 || k > core.NumKernels {
 		return
 	}
-	p.mu.Lock()
-	p.total[k] += d
-	p.calls[k]++
-	p.mu.Unlock()
+	p.init()
+	p.nanos[k].Add(int64(d))
+	p.calls[k].Inc()
 }
 
 // Total returns the summed time across all kernels.
 func (p *KernelProfile) Total() time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var t time.Duration
-	for _, d := range p.total {
-		t += d
+	p.init()
+	var t int64
+	for k := core.Kernel(1); k <= core.NumKernels; k++ {
+		t += p.nanos[k].Value()
 	}
-	return t
+	return time.Duration(t)
 }
 
 // KernelTime returns the accumulated time of kernel k.
 func (p *KernelProfile) KernelTime(k core.Kernel) time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.total[k]
+	if k < 1 || k > core.NumKernels {
+		return 0
+	}
+	p.init()
+	return time.Duration(p.nanos[k].Value())
 }
 
 // Calls returns how many times kernel k was recorded.
 func (p *KernelProfile) Calls(k core.Kernel) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.calls[k]
+	if k < 1 || k > core.NumKernels {
+		return 0
+	}
+	p.init()
+	return int(p.calls[k].Value())
 }
 
 // Row is one line of the Table-I-style report.
@@ -78,16 +128,16 @@ type Row struct {
 // Ranked returns the kernels ordered by descending total time with their
 // share of the summed kernel time — exactly the columns of Table I.
 func (p *KernelProfile) Ranked() []Row {
+	p.init()
 	total := p.Total()
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	rows := make([]Row, 0, core.NumKernels)
 	for k := core.Kernel(1); k <= core.NumKernels; k++ {
+		d := time.Duration(p.nanos[k].Value())
 		pct := 0.0
 		if total > 0 {
-			pct = 100 * float64(p.total[k]) / float64(total)
+			pct = 100 * float64(d) / float64(total)
 		}
-		rows = append(rows, Row{Kernel: k, Time: p.total[k], Percent: pct})
+		rows = append(rows, Row{Kernel: k, Time: d, Percent: pct})
 	}
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Time > rows[j].Time })
 	return rows
@@ -108,29 +158,49 @@ func (p *KernelProfile) Report() string {
 // thread and per loop nest, the time spent computing, and derives the
 // load-imbalance ratio the paper measures with OmpP.
 type PhaseProfile struct {
-	mu      sync.Mutex
 	threads int
-	// perStepPhase[phase][tid] accumulated over all steps.
-	perPhase [cubesolver.NumPhases + 1][]time.Duration
+	reg     *telemetry.Registry
+	// nanos[phase][tid], counter series lbmib_phase_thread_nanos_total.
+	nanos [cubesolver.NumPhases + 1][]*telemetry.Counter
 }
 
-// NewPhaseProfile creates a profile for the given thread count.
+// NewPhaseProfile creates a profile for the given thread count, backed
+// by a private registry.
 func NewPhaseProfile(threads int) *PhaseProfile {
-	p := &PhaseProfile{threads: threads}
-	for i := range p.perPhase {
-		p.perPhase[i] = make([]time.Duration, threads)
+	return NewPhaseProfileIn(nil, threads)
+}
+
+// NewPhaseProfileIn creates a profile whose counters live in reg as
+// lbmib_phase_thread_nanos_total{phase,thread}; a nil reg binds a
+// private registry.
+func NewPhaseProfileIn(reg *telemetry.Registry, threads int) *PhaseProfile {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	p := &PhaseProfile{threads: threads, reg: reg}
+	for ph := cubesolver.Phase(1); ph <= cubesolver.NumPhases; ph++ {
+		p.nanos[ph] = make([]*telemetry.Counter, threads)
+		for tid := 0; tid < threads; tid++ {
+			p.nanos[ph][tid] = reg.Counter("lbmib_phase_thread_nanos_total",
+				"accumulated per-thread wall-clock nanoseconds per Algorithm-4 loop nest",
+				telemetry.L("phase", ph.String()), telemetry.L("thread", strconv.Itoa(tid)))
+		}
 	}
 	return p
 }
+
+// Registry returns the registry holding this profile's counter series.
+func (p *PhaseProfile) Registry() *telemetry.Registry { return p.reg }
+
+// Threads returns the profile's thread count.
+func (p *PhaseProfile) Threads() int { return p.threads }
 
 // PhaseDone records one worker's time in one loop nest.
 func (p *PhaseProfile) PhaseDone(step, tid int, ph cubesolver.Phase, d time.Duration) {
 	if ph < 1 || ph > cubesolver.NumPhases || tid < 0 || tid >= p.threads {
 		return
 	}
-	p.mu.Lock()
-	p.perPhase[ph][tid] += d
-	p.mu.Unlock()
+	p.nanos[ph][tid].Add(int64(d))
 }
 
 // Imbalance returns the load-imbalance ratio relative to the whole
@@ -138,18 +208,16 @@ func (p *PhaseProfile) PhaseDone(step, tid int, ph cubesolver.Phase, d time.Dura
 // of parallel work (Σ_phases Σ_t (max_t − T_t)) divided by the total
 // parallel time (threads × Σ_phases max_t).
 func (p *PhaseProfile) Imbalance() float64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var waiting, total float64
-	for ph := 1; ph <= cubesolver.NumPhases; ph++ {
-		var max time.Duration
-		for _, d := range p.perPhase[ph] {
-			if d > max {
-				max = d
+	for ph := cubesolver.Phase(1); ph <= cubesolver.NumPhases; ph++ {
+		var max int64
+		for _, c := range p.nanos[ph] {
+			if v := c.Value(); v > max {
+				max = v
 			}
 		}
-		for _, d := range p.perPhase[ph] {
-			waiting += float64(max - d)
+		for _, c := range p.nanos[ph] {
+			waiting += float64(max - c.Value())
 			total += float64(max)
 		}
 	}
@@ -159,25 +227,67 @@ func (p *PhaseProfile) Imbalance() float64 {
 	return waiting / total
 }
 
+// PhaseImbalanceRatio returns max/mean of the per-thread times of one
+// loop nest — the paper's Table II load-imbalance metric for a single
+// phase. A phase nobody has reported yet returns 0; a perfectly balanced
+// phase returns 1.
+func (p *PhaseProfile) PhaseImbalanceRatio(ph cubesolver.Phase) float64 {
+	if ph < 1 || ph > cubesolver.NumPhases {
+		return 0
+	}
+	return maxOverMean(p.PhaseTime(ph))
+}
+
+// ImbalanceRatio returns max/mean of the per-thread total times across
+// all phases (0 with no data, 1 when perfectly balanced).
+func (p *PhaseProfile) ImbalanceRatio() float64 {
+	totals := make([]time.Duration, p.threads)
+	for tid := range totals {
+		totals[tid] = p.ThreadTime(tid)
+	}
+	return maxOverMean(totals)
+}
+
+// maxOverMean is the Table II ratio over a per-thread time vector.
+func maxOverMean(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	var max, sum time.Duration
+	for _, d := range ds {
+		if d > max {
+			max = d
+		}
+		sum += d
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(ds))
+	return float64(max) / mean
+}
+
 // ThreadTime returns the total computing time of thread tid across phases.
 func (p *PhaseProfile) ThreadTime(tid int) time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var t time.Duration
-	for ph := 1; ph <= cubesolver.NumPhases; ph++ {
-		if tid >= 0 && tid < len(p.perPhase[ph]) {
-			t += p.perPhase[ph][tid]
-		}
+	if tid < 0 || tid >= p.threads {
+		return 0
 	}
-	return t
+	var t int64
+	for ph := cubesolver.Phase(1); ph <= cubesolver.NumPhases; ph++ {
+		t += p.nanos[ph][tid].Value()
+	}
+	return time.Duration(t)
 }
 
 // PhaseTime returns the per-thread times of one loop nest.
 func (p *PhaseProfile) PhaseTime(ph cubesolver.Phase) []time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	out := make([]time.Duration, p.threads)
-	copy(out, p.perPhase[ph])
+	if ph < 1 || ph > cubesolver.NumPhases {
+		return out
+	}
+	for tid := range out {
+		out[tid] = time.Duration(p.nanos[ph][tid].Value())
+	}
 	return out
 }
 

@@ -1,0 +1,84 @@
+package taskflow
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lbmib/internal/cubesolver"
+)
+
+// phaseRecorder collects PhaseDone callbacks from all workers.
+type phaseRecorder struct {
+	mu      sync.Mutex
+	byPhase map[cubesolver.Phase]int
+	workers map[int]bool
+	steps   map[int]bool
+}
+
+func (r *phaseRecorder) PhaseDone(step, tid int, p cubesolver.Phase, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byPhase[p]++
+	r.workers[tid] = true
+	r.steps[step] = true
+	if d < 0 {
+		panic("negative duration")
+	}
+}
+
+// TestObserverCoversAllPhases checks the taskflow engine reports every
+// Algorithm-4 phase through the shared PhaseObserver interface, exactly
+// once per task, without perturbing the bitwise result.
+func TestObserverCoversAllPhases(t *testing.T) {
+	const steps, workers = 4, 4
+	ref, err := NewSolver(tfConfig(testSheet(), workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Run(steps)
+
+	s, err := NewSolver(tfConfig(testSheet(), workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &phaseRecorder{
+		byPhase: map[cubesolver.Phase]int{},
+		workers: map[int]bool{},
+		steps:   map[int]bool{},
+	}
+	s.Observer = rec
+	s.Run(steps)
+
+	numCubes := s.Fluid.NumCubes()
+	want := map[cubesolver.Phase]int{
+		cubesolver.PhaseFibersForce:    steps, // one fiber task per step
+		cubesolver.PhaseCollideStream:  steps * numCubes,
+		cubesolver.PhaseUpdateVelocity: steps * numCubes,
+		cubesolver.PhaseMoveFibers:     steps,
+		cubesolver.PhaseCopy:           steps * numCubes,
+	}
+	for p, n := range want {
+		if rec.byPhase[p] != n {
+			t.Errorf("phase %v reported %d times, want %d", p, rec.byPhase[p], n)
+		}
+	}
+	for st := 0; st < steps; st++ {
+		if !rec.steps[st] {
+			t.Errorf("no callbacks for step %d", st)
+		}
+	}
+	for tid := range rec.workers {
+		if tid < 0 || tid >= workers {
+			t.Errorf("callback from out-of-range worker %d", tid)
+		}
+	}
+
+	// The observer must not perturb the physics (taskflow is bitwise
+	// reproducible across runs and worker counts).
+	for i := range ref.Fluid.Nodes {
+		if ref.Fluid.Nodes[i].DF != s.Fluid.Nodes[i].DF {
+			t.Fatalf("node %d DF differs bitwise with observer attached", i)
+		}
+	}
+}

@@ -35,13 +35,33 @@ package taskflow
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"lbmib/internal/core"
 	"lbmib/internal/cube"
+	"lbmib/internal/cubesolver"
 	"lbmib/internal/fiber"
 	"lbmib/internal/ibm"
 	"lbmib/internal/lattice"
 )
+
+// PhaseObserver is the uniform per-thread phase-duration callback shared
+// with the cube solver: the taskflow engine reports each executed task
+// as one PhaseDone with the task's step, the executing worker as tid,
+// and the task kind mapped onto the corresponding Algorithm-4 phase. A
+// worker here is a dynamic scheduler, so unlike the cube engine a phase
+// may be reported many times per (step, tid) — once per task — and
+// consumers aggregate.
+type PhaseObserver = cubesolver.PhaseObserver
+
+// phaseOf maps a task kind to the Algorithm-4 phase it implements.
+var phaseOf = [...]cubesolver.Phase{
+	phFiberForce: cubesolver.PhaseFibersForce,
+	phCS:         cubesolver.PhaseCollideStream,
+	phUV:         cubesolver.PhaseUpdateVelocity,
+	phMove:       cubesolver.PhaseMoveFibers,
+	phCopy:       cubesolver.PhaseCopy,
+}
 
 // Config assembles a task-scheduled cube LBM-IB problem. The fields mirror
 // cubesolver.Config; there is no barrier schedule because there are no
@@ -88,6 +108,11 @@ type Solver struct {
 	BCY         core.BC
 	BCZ         core.BC
 	LidVelocity [3]float64
+
+	// Observer, when non-nil, receives one PhaseDone per executed task
+	// (worker id as tid). Nil by default: the uninstrumented scheduler
+	// executes tasks with no timing calls.
+	Observer PhaseObserver
 
 	// bc resolves boundary streaming with the body shared across engines
 	// (core.StreamBC).
@@ -260,10 +285,10 @@ func (s *Solver) Run(n int) {
 	var wg sync.WaitGroup
 	for w := 0; w < s.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			s.workerLoop()
-		}()
+			s.workerLoop(w)
+		}(w)
 	}
 	wg.Wait()
 	s.step = s.target
@@ -379,8 +404,9 @@ func (s *Solver) enqueue(t task) {
 	s.cond.Signal()
 }
 
-// workerLoop pulls ready tasks until the window completes.
-func (s *Solver) workerLoop() {
+// workerLoop pulls ready tasks until the window completes. w is the
+// worker index, used only for phase attribution.
+func (s *Solver) workerLoop(w int) {
 	s.mu.Lock()
 	for {
 		if s.pending == 0 {
@@ -396,7 +422,13 @@ func (s *Solver) workerLoop() {
 		s.ready = s.ready[:len(s.ready)-1]
 		s.mu.Unlock()
 
-		s.execute(t)
+		if obs := s.Observer; obs != nil {
+			t0 := time.Now()
+			s.execute(t)
+			obs.PhaseDone(t.step, w, phaseOf[t.ph], time.Since(t0))
+		} else {
+			s.execute(t)
+		}
 
 		s.mu.Lock()
 		s.complete(t)

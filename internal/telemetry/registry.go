@@ -296,6 +296,9 @@ type Series struct {
 	Count   uint64   `json:"observations,omitempty"`
 	Sum     float64  `json:"sum,omitempty"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+	// Quantiles holds interpolated p50/p95/p99 estimates for non-empty
+	// histograms (see bucketQuantile for the estimator).
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // Snapshot returns a consistent-enough copy of every series, in
@@ -337,6 +340,14 @@ func (r *Registry) Snapshot() []Series {
 			cum += h.counts[len(h.upper)]
 			s.Buckets = append(s.Buckets, Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
 			h.mu.Unlock()
+			if s.Count > 0 {
+				s.Quantiles = make(map[string]float64, len(snapshotQuantiles))
+				for _, sq := range snapshotQuantiles {
+					if v := bucketQuantile(sq.Q, s.Buckets); !math.IsNaN(v) {
+						s.Quantiles[sq.Name] = v
+					}
+				}
+			}
 		}
 		out = append(out, s)
 	}
@@ -407,6 +418,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels), s.Count); err != nil {
 				return err
+			}
+			// Summary-style quantile lines so dashboards get latency
+			// percentiles without a histogram_quantile() recording rule.
+			for _, sq := range snapshotQuantiles {
+				v, ok := s.Quantiles[sq.Name]
+				if !ok {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s%s %s\n",
+					s.Name, promLabels(s.Labels, L("quantile", promFloat(sq.Q))), promFloat(v)); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -20,6 +20,17 @@ type StepRecord struct {
 	KernelMillis float64 `json:"kernelMillis"`
 	// MLUPS is million lattice-node updates per second for this step.
 	MLUPS float64 `json:"mlups"`
+	// Imbalance is the load-imbalance ratio (max/mean per-thread phase
+	// time, the paper's Table II metric) accumulated so far. Zero-valued
+	// fields below are omitted: they only appear when contention
+	// attribution is enabled.
+	Imbalance float64 `json:"imbalance,omitempty"`
+	// BarrierWaitShare is the fraction of total thread-time spent waiting
+	// at barriers so far.
+	BarrierWaitShare float64 `json:"barrierWaitShare,omitempty"`
+	// LockWaitShare is the fraction of total thread-time spent blocked on
+	// spreading locks so far.
+	LockWaitShare float64 `json:"lockWaitShare,omitempty"`
 }
 
 // StepLogger writes StepRecords as JSON Lines. Safe for concurrent use.

@@ -76,6 +76,21 @@ func (t *Tracer) Slice(tid int, name, cat string, d time.Duration, args map[stri
 	t.mu.Unlock()
 }
 
+// Counter appends a Chrome trace "C" counter sample on track tid at the
+// current time. Each key of values becomes one stacked series in the
+// viewer — the per-cube heatmap uses this to render per-thread load as
+// counter tracks alongside the phase slices.
+func (t *Tracer) Counter(tid int, name string, values map[string]any) {
+	now := time.Now()
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		Name: name, Phase: "C",
+		TS:  float64(now.Sub(t.start).Microseconds()),
+		PID: 1, TID: tid, Args: values,
+	})
+	t.mu.Unlock()
+}
+
 // NameTrack attaches a human-readable name to track tid (rendered as the
 // thread name in the trace viewer). The first name wins.
 func (t *Tracer) NameTrack(tid int, name string) {

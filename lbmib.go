@@ -45,6 +45,7 @@ import (
 	"lbmib/internal/omp"
 	"lbmib/internal/output"
 	"lbmib/internal/par"
+	"lbmib/internal/perfmon"
 	"lbmib/internal/taskflow"
 	"lbmib/internal/telemetry"
 )
@@ -179,6 +180,15 @@ type Config struct {
 	// once it flags the run, Run stops early and Health reports the
 	// violation. Per-step sampling costs one grid scan per step.
 	Watchdog *telemetry.Watchdog
+	// Contention, when true, attributes waiting time: per-site barrier
+	// waits and spreading-lock waits (CubeBased and OpenMP engines),
+	// per-thread phase times, and — for the CubeBased engine — a per-cube
+	// work heatmap (WriteCubeHeatmap). ContentionStats reports the
+	// rollup; with a Telemetry registry the profiles are also published
+	// as lbmib_load_imbalance_ratio / lbmib_barrier_wait_seconds /
+	// lbmib_lock_wait_seconds gauges. Off by default: the uninstrumented
+	// engines take their exact pre-existing code paths.
+	Contention bool
 }
 
 // engine is what each solver implementation provides to the facade.
@@ -202,6 +212,14 @@ type stepInstr struct {
 	tracer     *telemetry.Tracer
 	kernelHist [core.NumKernels + 1]*telemetry.Histogram
 	phaseHist  [cubesolver.NumPhases + 1]*telemetry.Histogram
+
+	// Contention attribution (Config.Contention); engines attach what
+	// they support in their observe adapters.
+	threads    int
+	phaseProf  *perfmon.PhaseProfile      // per-thread phase times (CubeBased/TaskScheduled)
+	regionProf *perfmon.RegionProfile     // OmpP-style per-region accounting (OpenMP)
+	cont       *perfmon.ContentionProfile // barrier + spreading-lock waits
+	heatmap    *perfmon.CubeHeatmap       // per-cube work samples (CubeBased)
 }
 
 // KernelDone implements core.Observer.
@@ -222,6 +240,9 @@ func (si *stepInstr) PhaseDone(step, tid int, p cubesolver.Phase, d time.Duratio
 	if p >= 1 && p <= cubesolver.NumPhases && si.phaseHist[p] != nil {
 		si.phaseHist[p].Observe(d.Seconds())
 	}
+	if si.phaseProf != nil {
+		si.phaseProf.PhaseDone(step, tid, p, d)
+	}
 }
 
 // Simulation is a configured LBM-IB problem with a selected engine.
@@ -239,6 +260,10 @@ type Simulation struct {
 	mSteps    *telemetry.Counter
 	mMLUPS    *telemetry.Gauge
 	mStepSec  *telemetry.Histogram
+
+	// Contention attribution (Config.Contention; nil when disabled).
+	instr   *stepInstr
+	wallSec float64 // accumulated measured wall-clock seconds
 }
 
 func buildSheet(sc *SheetConfig) (*fiber.Sheet, error) {
@@ -401,10 +426,10 @@ func (s *Simulation) initTelemetry() error {
 		s.mStepSec = r.Histogram("lbmib_step_seconds", "Wall-clock time per time step.",
 			telemetry.ExpBuckets(1e-4, 2, 18))
 	}
-	if s.tracer == nil && cfg.Telemetry == nil {
+	if s.tracer == nil && cfg.Telemetry == nil && !cfg.Contention {
 		return nil
 	}
-	si := &stepInstr{tracer: s.tracer}
+	si := &stepInstr{tracer: s.tracer, threads: cfg.Threads}
 	if r := cfg.Telemetry; r != nil {
 		buckets := telemetry.ExpBuckets(1e-5, 2, 18)
 		switch cfg.Solver {
@@ -414,7 +439,7 @@ func (s *Simulation) initTelemetry() error {
 					"Wall-clock time per kernel execution (Algorithm 1).",
 					buckets, telemetry.L("kernel", k.String()))
 			}
-		case CubeBased:
+		case CubeBased, TaskScheduled:
 			for p := cubesolver.Phase(1); p <= cubesolver.NumPhases; p++ {
 				si.phaseHist[p] = r.Histogram("lbmib_phase_seconds",
 					"Wall-clock time per worker per loop nest (Algorithm 4).",
@@ -422,6 +447,20 @@ func (s *Simulation) initTelemetry() error {
 			}
 		}
 	}
+	if cfg.Contention {
+		switch cfg.Solver {
+		case OpenMP:
+			si.regionProf = perfmon.NewRegionProfile(cfg.Threads)
+			si.cont = perfmon.NewContentionProfile(cfg.Threads, cfg.NX) // lock owner = x-plane
+		case CubeBased:
+			si.phaseProf = perfmon.NewPhaseProfile(cfg.Threads)
+			si.cont = perfmon.NewContentionProfile(cfg.Threads, cfg.Threads) // lock owner = thread
+		case TaskScheduled:
+			// Barrier-free by design; only per-thread phase times apply.
+			si.phaseProf = perfmon.NewPhaseProfile(cfg.Threads)
+		}
+	}
+	s.instr = si
 	s.eng.observe(si)
 	return nil
 }
@@ -429,7 +468,8 @@ func (s *Simulation) initTelemetry() error {
 // instrumented reports whether any telemetry sink needs Step/Run
 // bookkeeping.
 func (s *Simulation) instrumented() bool {
-	return s.mSteps != nil || s.tracer != nil || s.logger != nil || s.watchdog != nil
+	return s.mSteps != nil || s.tracer != nil || s.logger != nil || s.watchdog != nil ||
+		s.cfg.Contention
 }
 
 // Step advances one time step (the nine kernels of Algorithm 1).
@@ -477,13 +517,19 @@ func (s *Simulation) runSteps(n int) {
 			if elapsed > 0 {
 				mlups = nodes / elapsed.Seconds() / 1e6
 			}
-			s.logger.Log(telemetry.StepRecord{ //nolint:errcheck // logging is best-effort
+			rec := telemetry.StepRecord{
 				Step:         step,
 				Mass:         g.TotalMass(),
 				MaxVel:       g.MaxVelocity(),
 				KernelMillis: float64(elapsed.Microseconds()) / 1e3,
 				MLUPS:        mlups,
-			})
+			}
+			if st, ok := s.ContentionStats(); ok {
+				rec.Imbalance = st.ImbalanceRatio
+				rec.BarrierWaitShare = st.BarrierWaitShare
+				rec.LockWaitShare = st.LockWaitShare
+			}
+			s.logger.Log(rec) //nolint:errcheck // logging is best-effort
 		}
 	}
 }
@@ -491,17 +537,110 @@ func (s *Simulation) runSteps(n int) {
 // recordBatch updates the registry metrics for n steps that took
 // elapsed.
 func (s *Simulation) recordBatch(n int, nodes float64, elapsed time.Duration) {
-	if s.mSteps == nil {
+	s.wallSec += elapsed.Seconds()
+	if s.mSteps != nil {
+		s.mSteps.Add(int64(n))
+		if elapsed > 0 {
+			s.mMLUPS.Set(nodes * float64(n) / elapsed.Seconds() / 1e6)
+		}
+		perStep := (elapsed / time.Duration(n)).Seconds()
+		for i := 0; i < n; i++ {
+			s.mStepSec.Observe(perStep)
+		}
+	}
+	s.publishContention()
+}
+
+// publishContention rolls the contention profiles up into the registry:
+// the Table II imbalance ratio as lbmib_load_imbalance_ratio{engine,
+// phase} and the wait attribution as lbmib_barrier_wait_seconds /
+// lbmib_lock_wait_seconds.
+func (s *Simulation) publishContention() {
+	r := s.cfg.Telemetry
+	if r == nil || !s.cfg.Contention {
 		return
 	}
-	s.mSteps.Add(int64(n))
-	if elapsed > 0 {
-		s.mMLUPS.Set(nodes * float64(n) / elapsed.Seconds() / 1e6)
+	const help = "max/mean per-thread phase time (Table II load-imbalance metric)"
+	eng := telemetry.L("engine", s.cfg.Solver.String())
+	si := s.instr
+	switch {
+	case si.phaseProf != nil:
+		r.Gauge("lbmib_load_imbalance_ratio", help, eng, telemetry.L("phase", "total")).
+			Set(si.phaseProf.ImbalanceRatio())
+		for p := cubesolver.Phase(1); p <= cubesolver.NumPhases; p++ {
+			if ratio := si.phaseProf.PhaseImbalanceRatio(p); ratio > 0 {
+				r.Gauge("lbmib_load_imbalance_ratio", help, eng, telemetry.L("phase", p.String())).Set(ratio)
+			}
+		}
+	case si.regionProf != nil:
+		r.Gauge("lbmib_load_imbalance_ratio", help, eng, telemetry.L("phase", "total")).
+			Set(si.regionProf.ImbalanceRatio())
+		for k := core.Kernel(1); k <= core.NumKernels; k++ {
+			if ratio := si.regionProf.KernelImbalanceRatio(k); ratio > 0 {
+				r.Gauge("lbmib_load_imbalance_ratio", help, eng, telemetry.L("phase", k.String())).Set(ratio)
+			}
+		}
 	}
-	perStep := (elapsed / time.Duration(n)).Seconds()
-	for i := 0; i < n; i++ {
-		s.mStepSec.Observe(perStep)
+	if si.cont != nil {
+		si.cont.Publish(r, s.cfg.Solver.String())
 	}
+}
+
+// ContentionStats is the rollup of the Config.Contention profiles.
+type ContentionStats struct {
+	// ImbalanceRatio is max/mean of per-thread busy time (Table II);
+	// 1 = perfectly balanced, 0 = no samples yet.
+	ImbalanceRatio float64
+	// BarrierWaitShare is the fraction of total thread-time spent waiting
+	// at barriers (CubeBased) or at the parallel regions' implicit
+	// barriers (OpenMP).
+	BarrierWaitShare float64
+	// LockWaitShare is the fraction of total thread-time blocked on
+	// spreading locks.
+	LockWaitShare     float64
+	ContendedAcquires int64
+	TotalAcquires     int64
+}
+
+// ContentionStats reports the accumulated contention rollup; ok is false
+// unless Config.Contention was set. Shares are measured against the
+// wall-clock time of instrumented Step/Run calls.
+func (s *Simulation) ContentionStats() (ContentionStats, bool) {
+	if !s.cfg.Contention || s.instr == nil {
+		return ContentionStats{}, false
+	}
+	si := s.instr
+	var st ContentionStats
+	threadSec := float64(s.cfg.Threads) * s.wallSec
+	switch {
+	case si.phaseProf != nil:
+		st.ImbalanceRatio = si.phaseProf.ImbalanceRatio()
+	case si.regionProf != nil:
+		st.ImbalanceRatio = si.regionProf.ImbalanceRatio()
+	}
+	if si.regionProf != nil {
+		st.BarrierWaitShare = si.regionProf.BarrierWaitShare()
+	} else if si.cont != nil && threadSec > 0 {
+		st.BarrierWaitShare = si.cont.BarrierWaitTotal().Seconds() / threadSec
+	}
+	if si.cont != nil {
+		if threadSec > 0 {
+			st.LockWaitShare = si.cont.LockWaitTotal().Seconds() / threadSec
+		}
+		st.ContendedAcquires = si.cont.ContendedAcquires()
+		st.TotalAcquires = si.cont.TotalAcquires()
+	}
+	return st, true
+}
+
+// WriteCubeHeatmap writes the per-cube work heatmap accumulated so far
+// as schema-versioned JSON. It requires Config.Contention with the
+// CubeBased engine.
+func (s *Simulation) WriteCubeHeatmap(w io.Writer) error {
+	if s.instr == nil || s.instr.heatmap == nil {
+		return fmt.Errorf("lbmib: heatmap requires Config.Contention with the CubeBased engine")
+	}
+	return s.instr.heatmap.WriteJSON(w)
 }
 
 // Health returns nil while the configured Watchdog (if any) considers
@@ -717,8 +856,16 @@ func (e *ompEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *ompEngine) close()                { e.s.Close() }
-func (e *ompEngine) observe(si *stepInstr) { e.s.Observer = si }
+func (e *ompEngine) close() { e.s.Close() }
+func (e *ompEngine) observe(si *stepInstr) {
+	e.s.Observer = si
+	if si.regionProf != nil {
+		e.s.Regions = si.regionProf
+	}
+	if si.cont != nil {
+		e.s.Locks = si.cont
+	}
+}
 func (e *ompEngine) load(g *grid.Grid) error {
 	e.s.Fluid.Normalize() // align parity with the (normalized) snapshot
 	copy(e.s.Fluid.Nodes, g.Nodes)
@@ -742,8 +889,15 @@ func (e *cubeEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *cubeEngine) close()                { e.s.Close() }
-func (e *cubeEngine) observe(si *stepInstr) { e.s.Observer = si }
+func (e *cubeEngine) close() { e.s.Close() }
+func (e *cubeEngine) observe(si *stepInstr) {
+	e.s.Observer = si
+	if si.cont != nil {
+		e.s.Contention = si.cont
+		si.heatmap = perfmon.NewCubeHeatmap(e.s.Fluid.CX, e.s.Fluid.CY, e.s.Fluid.CZ, e.s.Fluid.K, si.threads)
+		e.s.CubeWork = si.heatmap
+	}
+}
 func (e *cubeEngine) load(g *grid.Grid) error {
 	if err := e.s.Fluid.FromGrid(g); err != nil {
 		return err
@@ -770,10 +924,11 @@ func (e *taskflowEngine) densityAt(x, y, z int) float64 {
 }
 func (e *taskflowEngine) close() {}
 
-// observe is a no-op: the task-scheduled engine has no timing callbacks
-// yet (its phases interleave across steps, so a per-step observer would
-// mislead).
-func (e *taskflowEngine) observe(*stepInstr) {}
+// observe attaches the per-phase observer: each worker reports every
+// task body it executes (phases interleave across steps, so the step
+// index in each callback — not arrival order — says which step the
+// sample belongs to).
+func (e *taskflowEngine) observe(si *stepInstr) { e.s.Observer = si }
 func (e *taskflowEngine) load(g *grid.Grid) error {
 	if err := e.s.Fluid.FromGrid(g); err != nil {
 		return err

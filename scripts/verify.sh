@@ -5,9 +5,11 @@
 # P×Q×R barrier choreography; the omp and cube engines flip the shared
 # double-buffer parity bit from worker threads; soa swaps slices; the
 # taskflow engine schedules cubes over a dependency graph; the cluster
-# solver exchanges halos between ranks), plus two differential-testing
-# smokes: a seeded cross-engine sweep and a short native-fuzz run of the
-# checkpoint decoder.
+# solver exchanges halos between ranks; perfmon profiles accumulate from
+# all workers; par's timed barrier wraps the team barrier), plus two
+# differential-testing smokes — a seeded cross-engine sweep and a short
+# native-fuzz run of the checkpoint decoder — and a load-imbalance bench
+# smoke that emits and validates a schema-versioned BENCH file.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -15,10 +17,17 @@ cd "$(dirname "$0")/.."
 go build ./...
 go test ./...
 go vet ./...
-go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/...
+go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/... ./internal/perfmon/... ./internal/par/...
 
 # Cross-engine differential smoke: 10 seeded cases on every engine.
 go run ./cmd/lbmib-crosscheck -seeds 10
 
 # Checkpoint decoder fuzz smoke: arbitrary bytes must never panic.
 go test -run '^$' -fuzz '^FuzzRestore$' -fuzztime 10s .
+
+# Load-imbalance bench smoke: emit a fresh schema-versioned benchmark
+# and diff it against the committed baseline (warn-only drift tripwire;
+# the structural/schema checks do fail the script).
+go run ./cmd/lbmib-bench -exp imbalance -out BENCH_smoke.json
+scripts/bench_compare BENCH_baseline.json BENCH_smoke.json
+rm -f BENCH_smoke.json
