@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"sync"
+)
+
+var fileCache sync.Map // filename -> []byte
+
+func readFileCached(name string) ([]byte, error) {
+	if v, ok := fileCache.Load(name); ok {
+		return v.([]byte), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	fileCache.Store(name, data)
+	return data, nil
+}
+
+// ApplyFixes applies every machine-applicable fix in diags, returning
+// the new gofmt-ed contents per file. Overlapping fixes in one file are
+// rejected. Files are not written; the caller decides (lbmib-lint -fix
+// writes, the default read-only mode never calls this).
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := make(map[string][]edit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		pos := fset.Position(d.Fix.Pos)
+		end := fset.Position(d.Fix.End)
+		if pos.Filename == "" || pos.Filename != end.Filename {
+			continue
+		}
+		perFile[pos.Filename] = append(perFile[pos.Filename], edit{pos.Offset, end.Offset, d.Fix.NewText})
+	}
+	out := make(map[string][]byte, len(perFile))
+	for name, edits := range perFile {
+		data, err := readFileCached(name)
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return nil, fmt.Errorf("analysis: overlapping fixes in %s", name)
+			}
+		}
+		var buf []byte
+		last := 0
+		for _, e := range edits {
+			buf = append(buf, data[last:e.start]...)
+			buf = append(buf, e.text...)
+			last = e.end
+		}
+		buf = append(buf, data[last:]...)
+		formatted, err := format.Source(buf)
+		if err != nil {
+			// Keep the unformatted edit rather than failing the fix run.
+			formatted = buf
+		}
+		out[name] = formatted
+	}
+	return out, nil
+}

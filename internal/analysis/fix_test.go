@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestApplyFixesObserverGuard asserts the observercheck remediation is
+// machine-applicable: applying every offered fix to the fixture yields a
+// file that still parses and wraps the formerly-unguarded calls.
+func TestApplyFixesObserverGuard(t *testing.T) {
+	p := sharedProgram(t)
+	pkg, err := p.LoadDir(filepath.Join("testdata", "src", "observerbad"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	a := *ObserverCheck
+	a.Scope = nil
+	res := Run(p.Fset, []*Package{pkg}, []*Analyzer{&a})
+	var withFix int
+	for _, d := range res.Diagnostics {
+		if d.Fix != nil {
+			withFix++
+		}
+	}
+	if withFix == 0 {
+		t.Fatal("no observercheck diagnostic offered a fix")
+	}
+	fixed, err := ApplyFixes(p.Fset, res.Diagnostics)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(fixed) != 1 {
+		t.Fatalf("expected fixes in exactly one file, got %d", len(fixed))
+	}
+	for name, data := range fixed {
+		if _, err := parser.ParseFile(token.NewFileSet(), name, data, parser.ParseComments); err != nil {
+			t.Fatalf("fixed output does not parse: %v", err)
+		}
+		if !strings.Contains(string(data), "if s.Obs != nil {") {
+			t.Errorf("fixed output lacks the nil guard:\n%s", data)
+		}
+	}
+}

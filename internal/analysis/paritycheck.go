@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ParityCheck enforces PR 2's double-buffer contract: since the
+// parallel engines retire kernel 9 with an O(1) parity flip, the DF and
+// DFNew fields of grid.Node no longer mean "present" and "next" — only
+// Buf(Cur()) does. A raw field access outside the grid/cube accessor
+// layer silently reads the wrong time step's distributions on a swapped
+// grid, corrupting physics without crashing (the failure mode Fu &
+// Song's memory-aware LBM work warns about). Code that provably runs on
+// normalized grids (kernel-9-faithful engines, snapshot serialization)
+// documents that proof with //lint:allow paritycheck.
+var ParityCheck = &Analyzer{
+	Name: "paritycheck",
+	Doc:  "grid.Node DF/DFNew may only be accessed via the grid/cube accessor layer",
+	Scope: func(pkgPath string) bool {
+		// The accessor layer itself is the only exempt code.
+		return !hasSuffixPath(pkgPath, "internal/grid") && !hasSuffixPath(pkgPath, "internal/cube")
+	},
+	Run: runParityCheck,
+}
+
+func runParityCheck(pass *Pass) []Diagnostic {
+	if pass.Pkg == nil || pass.Pkg.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	flag := func(id *ast.Ident, obj types.Object) {
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return
+		}
+		if v.Name() != "DF" && v.Name() != "DFNew" {
+			return
+		}
+		if v.Pkg() == nil || !hasSuffixPath(v.Pkg().Path(), "internal/grid") {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Check: "paritycheck",
+			Pos:   id.Pos(),
+			Message: fmt.Sprintf("direct access to double-buffered field %s.%s outside the grid/cube accessor layer: use Buf(Cur()) so the swap-based engines stay correct",
+				"grid.Node", v.Name()),
+		})
+	}
+	// Info.Uses covers both selector accesses (n.DF) and composite
+	// literal keys (grid.Node{DF: ...}).
+	for id, obj := range pass.Pkg.Info.Uses {
+		flag(id, obj)
+	}
+	return diags
+}

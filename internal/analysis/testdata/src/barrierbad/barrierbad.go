@@ -1,0 +1,50 @@
+// Package barrierbad is lbmib-lint's golden-bad corpus for barriercheck:
+// worker loops whose barrier choreography is thread-dependent, the
+// deadlock class Algorithm 4's global barriers cannot tolerate.
+package barrierbad
+
+import "lbmib/internal/par"
+
+// conditionalWait reaches the barrier only on thread 0: every other
+// thread deadlocks. Two findings: the branch-count mismatch at the if,
+// and the control-dependent wait itself.
+func conditionalWait(b *par.Barrier, tid, steps int) {
+	for i := 0; i < steps; i++ {
+		if tid == 0 { //want:barriercheck
+			b.Wait() //want:barriercheck
+		}
+	}
+}
+
+// earlyReturn exits a barrier-bearing function on a thread-varying
+// condition, desynchronizing the team.
+func earlyReturn(b *par.Barrier, tid, steps int) {
+	for i := 0; i < steps; i++ {
+		if tid%2 == 0 {
+			return //want:barriercheck
+		}
+		b.Wait()
+	}
+}
+
+// unevenVisits breaks out of a barrier-bearing loop per-thread, so
+// threads make unequal numbers of barrier visits.
+func unevenVisits(b *par.Barrier, tid, steps int) {
+	for i := 0; i < steps; i++ {
+		b.Wait()
+		if tid == 3 {
+			break //want:barriercheck
+		}
+	}
+}
+
+// uniformOK is clean: the branch condition is the same on every thread,
+// so the team diverges together.
+func uniformOK(b *par.Barrier, perKernel bool, steps int) {
+	for i := 0; i < steps; i++ {
+		b.Wait()
+		if perKernel {
+			b.Wait()
+		}
+	}
+}

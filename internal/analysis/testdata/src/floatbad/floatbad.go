@@ -1,0 +1,33 @@
+// Package floatbad is lbmib-lint's golden-bad corpus for floatcheck:
+// exact floating-point equality in physics-shaped code, plus one
+// reviewed suppression the harness asserts is honored.
+package floatbad
+
+// exactEqual compares doubles bitwise.
+func exactEqual(a, b float64) bool {
+	return a == b //want:floatcheck
+}
+
+// sentinelCompare hides a sentinel in a float32 comparison.
+func sentinelCompare(x float32) bool {
+	return x != 0 //want:floatcheck
+}
+
+// mixedExpr buries the comparison in a larger expression.
+func mixedExpr(a, b, c float64) bool {
+	return a+b == c //want:floatcheck
+}
+
+// allowedSentinel carries a reviewed suppression; the harness asserts it
+// produces no finding and increments the suppressed counter.
+func allowedSentinel(tau float64) float64 {
+	if tau == 0 { //lint:allow floatcheck -- fixture: reviewed sentinel, suppression must be honored
+		return 0.6
+	}
+	return tau
+}
+
+// intOK is clean: integer equality is fine.
+func intOK(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,66 @@
+// Package observerbad is lbmib-lint's golden-bad corpus for
+// observercheck: nil-defaulting observer interfaces invoked without a
+// dominating nil guard — the panic that only fires on the
+// uninstrumented configuration.
+package observerbad
+
+// StatsObserver mirrors the engines' optional telemetry seams.
+type StatsObserver interface {
+	Record(v int)
+}
+
+type S struct {
+	Obs StatsObserver
+}
+
+// unguarded invokes the observer with no guard at all.
+func unguarded(s *S, v int) {
+	s.Obs.Record(v) //want:observercheck
+}
+
+// guardedThen is clean: the call sits in the then-branch of a != nil.
+func guardedThen(s *S, v int) {
+	if s.Obs != nil {
+		s.Obs.Record(v)
+	}
+}
+
+// guardedEarly is clean: a terminating == nil guard dominates the call.
+func guardedEarly(s *S, v int) {
+	if s.Obs == nil {
+		return
+	}
+	s.Obs.Record(v)
+}
+
+// aliasGuarded is clean: obs was assigned once from s.Obs, so a guard on
+// either spelling covers both.
+func aliasGuarded(s *S, v int) {
+	obs := s.Obs
+	if s.Obs != nil {
+		obs.Record(v)
+	}
+}
+
+// closureStable is clean: a single-assignment local guarded before the
+// closure cannot change inside it.
+func closureStable(s *S, run func(func())) {
+	if s.Obs == nil {
+		return
+	}
+	obs := s.Obs
+	run(func() {
+		obs.Record(1)
+	})
+}
+
+// closureField re-reads the field inside the closure: the outer guard
+// does not travel across the boundary for a mutable field.
+func closureField(s *S, run func(func())) {
+	if s.Obs == nil {
+		return
+	}
+	run(func() {
+		s.Obs.Record(1) //want:observercheck
+	})
+}

@@ -1,0 +1,27 @@
+// Package paritybad is lbmib-lint's golden-bad corpus for paritycheck:
+// raw DF/DFNew field access outside the grid/cube accessor layer, which
+// reads the wrong time step's distributions once an engine has swapped.
+package paritybad
+
+import "lbmib/internal/grid"
+
+// rawRead bypasses Buf(Cur()) on both buffers.
+func rawRead(g *grid.Grid) float64 {
+	t := 0.0
+	for i := range g.Nodes {
+		t += g.Nodes[i].DF[0]    //want:paritycheck
+		t += g.Nodes[i].DFNew[0] //want:paritycheck
+	}
+	return t
+}
+
+// rawWrite scribbles into the "new" buffer directly.
+func rawWrite(g *grid.Grid, q int, v float64) {
+	g.Nodes[0].DFNew[q] = v //want:paritycheck
+}
+
+// accessorOK is clean: the parity-aware accessor is the contract.
+func accessorOK(g *grid.Grid) float64 {
+	n := &g.Nodes[0]
+	return n.Buf(g.Cur())[0]
+}

@@ -82,14 +82,23 @@ func (s *Solver) waitBarrier(site BarrierSite, tid int) {
 
 // recordBarrierWait adapts par.BarrierWaitFunc to the observer; it is
 // bound once at construction so waitBarrier allocates nothing per call.
+// waitBarrier only routes here while Contention is attached, but the
+// field is re-read and guarded so detaching the observer between steps
+// degrades to a dropped sample instead of a panic.
 func (s *Solver) recordBarrierWait(site, tid int, wait time.Duration) {
-	s.Contention.BarrierWait(BarrierSite(site), tid, wait)
+	obs := s.Contention
+	if obs == nil {
+		return
+	}
+	obs.BarrierWait(BarrierSite(site), tid, wait)
 }
 
 // lockOwner acquires owner's spreading lock on behalf of waiter. When a
 // ContentionObserver is attached, a TryLock first distinguishes the
 // uncontended fast path (reported with zero wait) from a contended
 // acquisition whose blocking time is measured.
+//
+//lint:allow lockcheck -- acquire-side helper: returns holding ownerLocks[owner] by contract; spreadLocked releases it hand-over-hand
 func (s *Solver) lockOwner(waiter, owner int) {
 	l := &s.ownerLocks[owner]
 	if s.Contention == nil {

@@ -157,7 +157,7 @@ func NewSolver(cfg Config) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Tau == 0 {
+	if cfg.Tau == 0 { //lint:allow floatcheck -- Tau==0 is the documented "unset" sentinel; real values are vetted by ValidateTau
 		cfg.Tau = 0.6
 	}
 	if err := core.ValidateTau(cfg.Tau); err != nil {
@@ -331,17 +331,17 @@ func (s *Solver) spreadLocked(tid int, x [3]float64, F [3]float64, area float64)
 	held := -1
 	for i := 0; i < ibm.SupportWidth; i++ {
 		wx := st.Wx[i]
-		if wx == 0 {
+		if wx == 0 { //lint:allow floatcheck -- exact-zero delta-function weight: product is exactly 0, skip is lossless
 			continue
 		}
 		for j := 0; j < ibm.SupportWidth; j++ {
 			wxy := wx * st.Wy[j]
-			if wxy == 0 {
+			if wxy == 0 { //lint:allow floatcheck -- exact-zero delta-function weight: product is exactly 0, skip is lossless
 				continue
 			}
 			for k := 0; k < ibm.SupportWidth; k++ {
 				w := wxy * st.Wz[k] * area
-				if w == 0 {
+				if w == 0 { //lint:allow floatcheck -- exact-zero delta-function weight: product is exactly 0, skip is lossless
 					continue
 				}
 				gx, gy, gz := l.Wrap(st.Base[0]+i, st.Base[1]+j, st.Base[2]+k)

@@ -103,6 +103,8 @@ func Spread(acc ForceAccumulator, x [3]float64, F [3]float64, area float64) {
 
 // SpreadStencil is Spread with a caller-computed stencil, so solvers that
 // also need the stencil for ownership/locking decisions compute it once.
+//
+//lint:allow floatcheck -- exact-zero delta-function weights skip whole stencil planes; the product they'd contribute is exactly 0
 func SpreadStencil(acc ForceAccumulator, st *Stencil, F [3]float64, area float64) {
 	for i := 0; i < SupportWidth; i++ {
 		if st.Wx[i] == 0 {
@@ -135,6 +137,8 @@ func Interpolate(v VelocitySampler, x [3]float64) [3]float64 {
 }
 
 // InterpolateStencil is Interpolate with a caller-computed stencil.
+//
+//lint:allow floatcheck -- exact-zero delta-function weights skip whole stencil planes; the product they'd contribute is exactly 0
 func InterpolateStencil(v VelocitySampler, st *Stencil) [3]float64 {
 	var u [3]float64
 	for i := 0; i < SupportWidth; i++ {

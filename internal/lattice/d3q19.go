@@ -108,7 +108,7 @@ func Moments(g *[Q]float64, f [3]float64, u *[3]float64) (rho float64) {
 		my += gi * float64(E[i][1])
 		mz += gi * float64(E[i][2])
 	}
-	if rho == 0 {
+	if rho == 0 { //lint:allow floatcheck -- only exact zero density divides by zero below; the guard is not a tolerance check
 		*u = [3]float64{}
 		return 0
 	}

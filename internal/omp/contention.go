@@ -32,6 +32,8 @@ type LockObserver interface {
 // lockPlane acquires the x-plane lock for the spreading thread tid,
 // measuring contention when a LockObserver is attached; without one it
 // is a plain Lock.
+//
+//lint:allow lockcheck -- acquire-side helper: returns holding planeLocks[plane] by contract; SpreadForce releases it after the scatter
 func (s *Solver) lockPlane(tid, plane int) {
 	l := &s.planeLocks[plane]
 	if s.Locks == nil {

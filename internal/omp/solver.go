@@ -132,8 +132,9 @@ func (s *Solver) Close() { s.team.Close() }
 // barrier.
 func (s *Solver) parallelFor(n int, body func(tid, lo, hi int)) {
 	run := body
+	obs := s.Regions
 	var busy []time.Duration
-	if s.Regions != nil {
+	if obs != nil {
 		busy = make([]time.Duration, s.Threads)
 		run = func(tid, lo, hi int) {
 			t0 := time.Now()
@@ -146,8 +147,8 @@ func (s *Solver) parallelFor(n int, body func(tid, lo, hi int)) {
 	} else {
 		s.team.ForStatic(n, run)
 	}
-	if busy != nil {
-		s.Regions.RegionDone(s.StepCount(), s.curKernel, busy)
+	if obs != nil {
+		obs.RegionDone(s.StepCount(), s.curKernel, busy)
 	}
 }
 

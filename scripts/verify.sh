@@ -17,6 +17,17 @@ cd "$(dirname "$0")/.."
 go build ./...
 go test ./...
 go vet ./...
+go vet -stdmethods=false ./...
+
+# Domain-aware static analysis: lbmib-lint proves the lock discipline,
+# barrier choreography, buffer-parity contract, float-comparison policy,
+# and observer nil-guards the race detector can only sample. The repo
+# must be finding-free (reviewed exemptions carry //lint:allow), and the
+# analyzers themselves must still catch every seeded defect in the
+# golden-bad corpus.
+scripts/lint ./...
+go test -run 'TestAnalyzersGoldenCorpus|TestLintSelfHost' ./internal/analysis/
+
 go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/... ./internal/perfmon/... ./internal/par/...
 
 # Cross-engine differential smoke: 10 seeded cases on every engine.
@@ -24,6 +35,10 @@ go run ./cmd/lbmib-crosscheck -seeds 10
 
 # Checkpoint decoder fuzz smoke: arbitrary bytes must never panic.
 go test -run '^$' -fuzz '^FuzzRestore$' -fuzztime 10s .
+
+# Lint loader fuzz smoke: arbitrary bytes through the single-file
+# analysis pipeline must never panic either.
+go test -run '^$' -fuzz '^FuzzLintParse$' -fuzztime 5s ./internal/analysis/
 
 # Load-imbalance bench smoke: emit a fresh schema-versioned benchmark
 # and diff it against the committed baseline (warn-only drift tripwire;
