@@ -3,7 +3,7 @@
 // ablations. Each benchmark times the reproduction machinery itself and
 // reports the experiment's headline number as a custom metric, so
 // `go test -bench=. -benchmem` doubles as a compact results table.
-package lbmib
+package lbmib_test
 
 import (
 	"fmt"

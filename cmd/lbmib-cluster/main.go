@@ -19,24 +19,36 @@ import (
 	"lbmib/internal/cluster"
 	"lbmib/internal/core"
 	"lbmib/internal/fiber"
+	"lbmib/internal/flightrec"
 	"lbmib/internal/telemetry"
 	"lbmib/internal/validate"
 )
+
+// teeObserver fans each per-rank phase sample out to several sinks
+// (the Chrome tracer and the flight recorder can both be active).
+type teeObserver []cluster.PhaseObserver
+
+func (t teeObserver) PhaseDone(step, rank int, p cluster.Phase, d time.Duration) {
+	for _, o := range t {
+		o.PhaseDone(step, rank, p, d) //lint:allow observercheck -- tee elements are appended only when non-nil; the tee itself is only installed when non-empty
+	}
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmib-cluster: ")
 	var (
-		nx       = flag.Int("nx", 64, "fluid nodes along x (must divide by ranks)")
-		ny       = flag.Int("ny", 32, "fluid nodes along y")
-		nz       = flag.Int("nz", 32, "fluid nodes along z")
-		ranks    = flag.Int("ranks", 4, "message-passing ranks (x-slabs)")
-		steps    = flag.Int("steps", 50, "time steps")
-		tau      = flag.Float64("tau", 0.7, "BGK relaxation time")
-		force    = flag.Float64("force", 2e-5, "driving force along x")
-		sheetN   = flag.Int("sheet", 16, "fiber sheet edge (0 for fluid-only)")
-		verify   = flag.Bool("verify", false, "compare against the sequential solver")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event timeline (one track per rank) to this file")
+		nx           = flag.Int("nx", 64, "fluid nodes along x (must divide by ranks)")
+		ny           = flag.Int("ny", 32, "fluid nodes along y")
+		nz           = flag.Int("nz", 32, "fluid nodes along z")
+		ranks        = flag.Int("ranks", 4, "message-passing ranks (x-slabs)")
+		steps        = flag.Int("steps", 50, "time steps")
+		tau          = flag.Float64("tau", 0.7, "BGK relaxation time")
+		force        = flag.Float64("force", 2e-5, "driving force along x")
+		sheetN       = flag.Int("sheet", 16, "fiber sheet edge (0 for fluid-only)")
+		verify       = flag.Bool("verify", false, "compare against the sequential solver")
+		traceOut     = flag.String("trace", "", "write a Chrome trace-event timeline (one track per rank) to this file")
+		flightrecDir = flag.String("flightrec", "", "record per-rank phase timings; write a post-mortem bundle here if -verify finds a divergence")
 	)
 	flag.Parse()
 
@@ -58,10 +70,29 @@ func main() {
 	if sh := mkSheet(); sh != nil {
 		cfg.Sheets = []*fiber.Sheet{sh}
 	}
-	var tracer *telemetry.Tracer
+	var (
+		tracer *telemetry.Tracer
+		rec    *flightrec.Recorder
+		obs    teeObserver
+	)
 	if *traceOut != "" {
 		tracer = telemetry.NewTracer()
-		cfg.Observer = tracer.ClusterObserver()
+		obs = append(obs, tracer.ClusterObserver())
+	}
+	if *flightrecDir != "" {
+		rec = flightrec.New(flightrec.Config{Dir: *flightrecDir})
+		rec.SetRunSpec(flightrec.RunSpec{
+			NX: *nx, NY: *ny, NZ: *nz, Tau: *tau,
+			BodyForce: cfg.BodyForce,
+			BoundaryX: "periodic", BoundaryY: "periodic", BoundaryZ: "periodic",
+			Solver: "cluster", Threads: *ranks,
+		})
+		obs = append(obs, rec.ClusterObserver())
+	}
+	if len(obs) == 1 {
+		cfg.Observer = obs[0]
+	} else if len(obs) > 1 {
+		cfg.Observer = obs
 	}
 
 	t0 := time.Now()
@@ -70,6 +101,13 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(t0)
+	if rec != nil && *steps > 0 {
+		// The ring already holds per-rank phase timings; stamp the final
+		// step with the mean wall time so the bundle's trace has a scale.
+		perStep := elapsed / time.Duration(*steps)
+		mlups := float64(*nx) * float64(*ny) * float64(*nz) / perStep.Seconds() / 1e6
+		rec.RecordStep(*steps, perStep, mlups, 0, 0)
+	}
 	fmt.Printf("ranks=%d grid=%d×%d×%d steps=%d wall=%v\n",
 		*ranks, *nx, *ny, *nz, *steps, elapsed.Round(time.Millisecond))
 	fmt.Printf("communication: %d messages, %.2f MB (%.1f KB/step/rank)\n",
@@ -108,6 +146,11 @@ func main() {
 		}
 		fmt.Printf("verification vs sequential: %v\n", d)
 		if !d.Within(validate.DefaultTol) {
+			if rec != nil {
+				if dir, err := rec.WriteBundle("divergence", nil); err == nil {
+					log.Printf("post-mortem bundle written to %s (inspect with lbmib-postmortem)", dir)
+				}
+			}
 			log.Fatal("distributed result diverges from the sequential solver")
 		}
 		fmt.Println("distributed result matches the sequential solver")

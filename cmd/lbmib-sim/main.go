@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lbmib"
+	"lbmib/internal/flightrec"
 	"lbmib/internal/telemetry"
 )
 
@@ -45,10 +46,11 @@ func main() {
 		snapEvery  = flag.Int("snap-every", 0, "write snapshots every N steps (0: only final)")
 		report     = flag.Int("report-every", 20, "print diagnostics every N steps")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :9100)")
-		traceOut    = flag.String("trace", "", "write a Chrome trace-event timeline to this file (open in Perfetto)")
-		jsonlOut    = flag.String("jsonl", "", "append one JSON line per step (step, mass, maxVel, kernelMillis, mlups)")
-		watch       = flag.Bool("watchdog", false, "check physics health every step; stop at the first unstable step")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics, /healthz and pprof on this address (e.g. :9100)")
+		traceOut     = flag.String("trace", "", "write a Chrome trace-event timeline to this file (open in Perfetto)")
+		jsonlOut     = flag.String("jsonl", "", "append one JSON line per step (step, mass, maxVel, kernelMillis, mlups)")
+		watch        = flag.Bool("watchdog", false, "check physics health every step; stop at the first unstable step")
+		flightrecDir = flag.String("flightrec", "", "keep an always-on flight recorder; write a post-mortem bundle to this directory if the run goes bad (implies -watchdog)")
 	)
 	flag.Parse()
 
@@ -77,9 +79,12 @@ func main() {
 		cfg.Telemetry = reg
 	}
 	cfg.TraceFile = *traceOut
-	if *watch {
-		wd = telemetry.NewWatchdog(telemetry.WatchdogConfig{Registry: reg})
+	if *watch || *flightrecDir != "" {
+		wd = telemetry.NewWatchdog(telemetry.WatchdogConfig{Registry: reg, CubeSize: *cubeSize})
 		cfg.Watchdog = wd
+	}
+	if *flightrecDir != "" {
+		cfg.FlightRec = &flightrec.Config{Dir: *flightrecDir}
 	}
 	if *jsonlOut != "" {
 		f, err := os.Create(*jsonlOut)
@@ -146,6 +151,11 @@ func main() {
 		}
 		sim.Run(batch)
 		if err := sim.Health(); err != nil {
+			if rec := sim.FlightRecorder(); rec != nil {
+				if dir, ok := rec.BundleDir(); ok {
+					log.Printf("post-mortem bundle written to %s (inspect with lbmib-postmortem)", dir)
+				}
+			}
 			log.Fatalf("watchdog: %v", err)
 		}
 		done += batch

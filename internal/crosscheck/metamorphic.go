@@ -54,9 +54,10 @@ func (r *Runner) metamorphic(c Case, ref state) []string {
 }
 
 // seqFinal runs the (possibly transformed) case on the sequential engine
-// and returns its final state.
+// and returns its final state. The transformed runs are scratch work, so
+// no flight recorder is attached (hence the zero Runner).
 func seqFinal(c Case) (state, error) {
-	e, err := newEngine(c, EngineSequential)
+	e, err := (&Runner{}).newEngine(c, EngineSequential)
 	if err != nil {
 		return state{}, err
 	}

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"path/filepath"
 
 	"lbmib"
 	"lbmib/internal/core"
 	"lbmib/internal/fiber"
+	"lbmib/internal/flightrec"
 	"lbmib/internal/grid"
 	"lbmib/internal/lattice"
 	"lbmib/internal/soa"
@@ -63,6 +65,7 @@ type EngineReport struct {
 	Bitwise  bool     `json:"bitwise"`            // contract applied (vs tolerance)
 	MaxAbs   float64  `json:"max_abs_diff"`       // vs the sequential reference
 	Failures []string `json:"failures,omitempty"` // empty means the engine passed
+	Bundle   string   `json:"bundle,omitempty"`   // post-mortem bundle dir, when recorded
 }
 
 // Result is the verdict of one case across all engines and oracles.
@@ -95,6 +98,10 @@ type Runner struct {
 	// MetaTol bounds the metamorphic symmetry comparisons, which reorder
 	// per-node reductions but nothing else (default 1e-11).
 	MetaTol float64
+	// FlightRecDir, when non-empty, attaches a flight recorder to every
+	// facade engine and writes a post-mortem bundle (reason "crosscheck")
+	// under <dir>/seed<N>-<engine> for each engine that diverges.
+	FlightRecDir string
 }
 
 // NewRunner returns a Runner with the default contracts.
@@ -202,8 +209,10 @@ func solverKind(e Engine) lbmib.SolverKind {
 	}
 }
 
-// newEngine instantiates engine e for the case.
-func newEngine(c Case, e Engine) (engineRun, error) {
+// newEngine instantiates engine e for the case. Facade engines carry a
+// flight recorder when the Runner has a FlightRecDir, so a divergence
+// leaves forensics behind.
+func (r *Runner) newEngine(c Case, e Engine) (engineRun, error) {
 	if e == EngineSoA {
 		cfg := c.Config
 		s, err := soa.NewSolver(soa.Config{
@@ -221,6 +230,11 @@ func newEngine(c Case, e Engine) (engineRun, error) {
 	}
 	cfg := c.Config
 	cfg.Solver = solverKind(e)
+	if r.FlightRecDir != "" {
+		cfg.FlightRec = &flightrec.Config{
+			Dir: filepath.Join(r.FlightRecDir, fmt.Sprintf("seed%d-%s", c.Seed, e)),
+		}
+	}
 	sim, err := lbmib.New(cfg)
 	if err != nil {
 		return nil, err
@@ -240,7 +254,7 @@ func (r *Runner) Run(c Case) Result {
 	}
 
 	// The sequential reference, with invariants checked along the way.
-	ref, err := newEngine(c, EngineSequential)
+	ref, err := r.newEngine(c, EngineSequential)
 	if err != nil {
 		res.Failures = append(res.Failures, fmt.Sprintf("building sequential reference: %v", err))
 		res.OK = false
@@ -255,7 +269,7 @@ func (r *Runner) Run(c Case) Result {
 	// Cube-layout engines must reject indivisible shapes.
 	if !CubeDivisible(c) {
 		for _, e := range []Engine{EngineCube, EngineTaskflow} {
-			if eng, err := newEngine(c, e); err == nil {
+			if eng, err := r.newEngine(c, e); err == nil {
 				eng.close()
 				res.Failures = append(res.Failures,
 					fmt.Sprintf("%s accepted indivisible grid %d×%d×%d with cube size %d",
@@ -270,14 +284,13 @@ func (r *Runner) Run(c Case) Result {
 			continue
 		}
 		er := EngineReport{Engine: string(e), Bitwise: Deterministic(e, c)}
-		eng, err := newEngine(c, e)
+		eng, err := r.newEngine(c, e)
 		if err != nil {
 			er.Failures = append(er.Failures, fmt.Sprintf("constructor rejected valid config: %v", err))
 			res.Engines = append(res.Engines, er)
 			continue
 		}
 		final, fails := r.drive(eng, c)
-		eng.close()
 		er.Failures = append(er.Failures, fails...)
 		tol := 0.0
 		if !er.Bitwise {
@@ -286,6 +299,16 @@ func (r *Runner) Run(c Case) Result {
 		maxAbs, cmpFails := compareStates(refFinal, final, tol)
 		er.MaxAbs = maxAbs
 		er.Failures = append(er.Failures, cmpFails...)
+		// A diverged facade engine dumps its flight-recorder bundle
+		// before teardown, so the trajectory that disagreed is kept.
+		if len(er.Failures) > 0 {
+			if sr, ok := eng.(*simRun); ok && sr.sim.FlightRecorder() != nil {
+				if dir, err := sr.sim.WritePostMortem("crosscheck"); err == nil {
+					er.Bundle = dir
+				}
+			}
+		}
+		eng.close()
 		res.Engines = append(res.Engines, er)
 	}
 
@@ -401,7 +424,7 @@ func (r *Runner) roundTrip(c Case, e Engine) string {
 	}
 
 	// Uninterrupted trajectory.
-	full, err := newEngine(c, e)
+	full, err := r.newEngine(c, e)
 	if err != nil {
 		return fmt.Sprintf("round-trip %s: constructor: %v", e, err)
 	}
@@ -410,7 +433,7 @@ func (r *Runner) roundTrip(c Case, e Engine) string {
 	full.close()
 
 	// Interrupted: run half, checkpoint, restore, run the rest.
-	first, err := newEngine(c, e)
+	first, err := r.newEngine(c, e)
 	if err != nil {
 		return fmt.Sprintf("round-trip %s: constructor: %v", e, err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lbmib"
+	"lbmib/internal/flightrec"
 	"lbmib/internal/omp"
 )
 
@@ -98,4 +99,43 @@ func TestMinimizeShrinksFailingCase(t *testing.T) {
 		orig.Steps, min.Steps, len(orig.Config.Sheets), len(min.Config.Sheets),
 		orig.Config.NX, orig.Config.NY, orig.Config.NZ,
 		min.Config.NX, min.Config.NY, min.Config.NZ)
+}
+
+// TestDivergenceWritesFlightRecBundle checks the forensics hook: with a
+// FlightRecDir set, a diverging engine leaves a readable post-mortem
+// bundle (reason "crosscheck") and the report names its directory.
+func TestDivergenceWritesFlightRecBundle(t *testing.T) {
+	seed := faultSensitiveSeed(t)
+	injectFault(t)
+	r := NewRunner()
+	r.FlightRecDir = t.TempDir()
+	res := r.Run(Gen(seed))
+	if res.OK {
+		t.Fatal("injected fault not detected")
+	}
+	var bundles int
+	for _, er := range res.Engines {
+		if len(er.Failures) == 0 {
+			continue
+		}
+		if er.Engine == string(EngineSoA) {
+			continue // internal solver, no recorder
+		}
+		if er.Bundle == "" {
+			t.Errorf("diverged engine %s reported no bundle", er.Engine)
+			continue
+		}
+		b, err := flightrec.ReadBundle(er.Bundle)
+		if err != nil {
+			t.Errorf("bundle for %s unreadable: %v", er.Engine, err)
+			continue
+		}
+		if b.Manifest.Reason != "crosscheck" {
+			t.Errorf("bundle reason = %q, want crosscheck", b.Manifest.Reason)
+		}
+		bundles++
+	}
+	if bundles == 0 {
+		t.Fatal("no engine produced a post-mortem bundle")
+	}
 }

@@ -1,0 +1,19 @@
+package cube
+
+import (
+	"fmt"
+
+	"lbmib/internal/grid"
+)
+
+// Digest fills d from the layout in one cube-major pass over the nodes,
+// reading the present distribution buffer without materializing a slab
+// grid (unlike ToGrid, which copies every node). When d.K equals the
+// layout's cube size, the digest tiles are exactly the solver's cubes.
+func (l *Layout) Digest(d *grid.DigestGrid) error {
+	if d.NX != l.NX || d.NY != l.NY || d.NZ != l.NZ {
+		return fmt.Errorf("cube: digest shaped %d×%d×%d, layout %d×%d×%d",
+			d.NX, d.NY, d.NZ, l.NX, l.NY, l.NZ)
+	}
+	return d.DigestCubeMajor(l.Nodes, l.K, l.cur)
+}

@@ -1,0 +1,339 @@
+// Package flightrec is the library's always-on failure forensics layer:
+// a bounded-overhead flight recorder that keeps the last N steps of a
+// run — per-kernel and per-phase timings, per-cube mass/velocity/finite
+// digests, contention shares — in a fixed-size ring, plus periodic
+// in-memory checkpoints of the last known-healthy state. When the
+// physics watchdog latches, a crosscheck diverges, or the driver
+// panics, the recorder writes a schema-versioned post-mortem bundle
+// (see bundle.go) whose fault-localization report bisects the per-cube
+// digests to name the first cube, phase, and step where the invariant
+// broke. The steady-state recording path takes one mutex and allocates
+// nothing, so the recorder can stay on in production runs.
+package flightrec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"lbmib/internal/cluster"
+	"lbmib/internal/core"
+	"lbmib/internal/cubesolver"
+	"lbmib/internal/grid"
+)
+
+// Config tunes the recorder. The zero value of every field takes the
+// documented default, so Config{Dir: "..."} is a working configuration.
+type Config struct {
+	// RingSize is how many most-recent steps the ring retains
+	// (default 256).
+	RingSize int
+	// DigestEvery is the per-cube digest cadence in steps (default 8;
+	// 1 digests every step). Digesting is the recorder's only
+	// full-grid pass, so this is the overhead knob. Drivers that run a
+	// watchdog digest every step regardless — the watchdog's own scan
+	// is replaced by the recorder's, not added to it.
+	DigestEvery int
+	// SnapshotEvery is the in-memory checkpoint cadence in steps
+	// (default 64). Snapshots are only retained while the run is
+	// healthy, so the bundle's checkpoint reproduces the failure from
+	// at most SnapshotEvery steps before it.
+	SnapshotEvery int
+	// TileSize is the digest tile edge (default 4). Set it to the cube
+	// engine's cube size so localization names real cubes.
+	TileSize int
+	// Dir is where WriteBundle materializes the post-mortem bundle.
+	// Empty disables bundle writing (the ring still records).
+	Dir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSize < 1 {
+		c.RingSize = 256
+	}
+	if c.DigestEvery < 1 {
+		c.DigestEvery = 8
+	}
+	if c.SnapshotEvery < 1 {
+		c.SnapshotEvery = 64
+	}
+	if c.TileSize < 1 {
+		c.TileSize = 4
+	}
+	return c
+}
+
+// Record is one ring entry: everything the recorder knows about one
+// step. Timing fields accumulate from observer callbacks during the
+// step; digests and aggregates land when the driver samples them.
+type Record struct {
+	Step int `json:"step"`
+	// WallSeconds is the whole-step wall time; MLUPS the step's rate.
+	WallSeconds float64 `json:"wallSeconds"`
+	MLUPS       float64 `json:"mlups,omitempty"`
+	// KernelSeconds[k-1] is kernel k's time (sequential/omp engines);
+	// PhaseSeconds[p-1] sums phase p over worker threads (cube/taskflow
+	// engines); ClusterPhaseSeconds[p-1] sums over ranks.
+	KernelSeconds       [core.NumKernels]float64      `json:"kernelSeconds"`
+	PhaseSeconds        [cubesolver.NumPhases]float64 `json:"phaseSeconds"`
+	ClusterPhaseSeconds [cluster.NumPhases]float64    `json:"clusterPhaseSeconds"`
+	BarrierWaitShare    float64                       `json:"barrierWaitShare,omitempty"`
+	LockWaitShare       float64                       `json:"lockWaitShare,omitempty"`
+	// HasDigest marks steps the full-grid digest ran on; the aggregates
+	// and per-tile digests below are only meaningful then.
+	HasDigest bool              `json:"hasDigest,omitempty"`
+	Mass      float64           `json:"mass,omitempty"`
+	MaxVel    float64           `json:"maxVel,omitempty"`
+	NonFinite int               `json:"nonFinite,omitempty"`
+	Digests   []grid.TileDigest `json:"digests,omitempty"`
+}
+
+// Recorder is the flight recorder. All methods are safe for concurrent
+// use: engine worker threads report timings while the driver records
+// step aggregates and a bundle writer snapshots the ring.
+type Recorder struct {
+	cfg Config
+
+	mu       sync.Mutex
+	slots    []Record
+	lastStep int
+	// tile-grid shape of the digests in the ring (set on first digest)
+	tileK, tx, ty, tz int
+
+	// scratch is the driver-owned digest buffer: engines scan into it
+	// outside the ring lock, then RecordDigest copies it in. Guarded by
+	// the driver loop being single-threaded, not by mu.
+	scratch *grid.DigestGrid
+
+	snapMu   sync.Mutex
+	snapBufs [2]bytes.Buffer
+	snapCur  int // index of the last completed snapshot, -1 if none
+	snapStep int
+
+	spec    RunSpec
+	haveRun bool
+
+	bundleMu   sync.Mutex
+	bundleDir  string
+	bundleDone bool
+}
+
+// New builds a recorder; zero config fields take the documented
+// defaults.
+func New(cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	r := &Recorder{
+		cfg:      cfg,
+		slots:    make([]Record, cfg.RingSize),
+		lastStep: -1,
+		snapCur:  -1,
+		snapStep: -1,
+	}
+	for i := range r.slots {
+		r.slots[i].Step = -1
+	}
+	return r
+}
+
+// Config returns the recorder's effective (defaulted) configuration.
+func (r *Recorder) Config() Config { return r.cfg }
+
+// SetRunSpec attaches the run description embedded in bundles so
+// lbmib-postmortem can rebuild the configuration for replay.
+func (r *Recorder) SetRunSpec(spec RunSpec) {
+	r.mu.Lock()
+	r.spec = spec
+	r.haveRun = true
+	r.mu.Unlock()
+}
+
+// slotFor returns the ring slot for step, resetting it when the slot
+// still holds an evicted older step. Caller holds r.mu.
+func (r *Recorder) slotFor(step int) *Record {
+	s := &r.slots[step%len(r.slots)]
+	if s.Step != step {
+		d := s.Digests[:0] // keep the slot's tile buffer across reuse
+		*s = Record{Step: step, Digests: d}
+	}
+	return s
+}
+
+// KernelObserved accumulates one kernel duration into step's record
+// (core.Observer shape; the facade forwards its observer fan-out here).
+func (r *Recorder) KernelObserved(step int, k core.Kernel, d time.Duration) {
+	if k < 1 || int(k) > core.NumKernels {
+		return
+	}
+	r.mu.Lock()
+	r.slotFor(step).KernelSeconds[k-1] += d.Seconds()
+	r.mu.Unlock()
+}
+
+// PhaseObserved accumulates one cube-solver phase duration (summed over
+// worker threads) into step's record.
+func (r *Recorder) PhaseObserved(step, tid int, p cubesolver.Phase, d time.Duration) {
+	if p < 1 || int(p) > cubesolver.NumPhases {
+		return
+	}
+	_ = tid // per-thread resolution lives in the tracer; the ring keeps sums
+	r.mu.Lock()
+	r.slotFor(step).PhaseSeconds[p-1] += d.Seconds()
+	r.mu.Unlock()
+}
+
+// ClusterPhaseObserved accumulates one cluster phase duration (summed
+// over ranks) into step's record.
+func (r *Recorder) ClusterPhaseObserved(step, rank int, p cluster.Phase, d time.Duration) {
+	if p < 1 || int(p) > cluster.NumPhases {
+		return
+	}
+	_ = rank
+	r.mu.Lock()
+	r.slotFor(step).ClusterPhaseSeconds[p-1] += d.Seconds()
+	r.mu.Unlock()
+}
+
+// clusterObserver adapts the Recorder to cluster.PhaseObserver.
+type clusterObserver struct{ r *Recorder }
+
+func (c clusterObserver) PhaseDone(step, rank int, p cluster.Phase, d time.Duration) {
+	c.r.ClusterPhaseObserved(step, rank, p, d)
+}
+
+// ClusterObserver returns a cluster.PhaseObserver recording into the
+// ring.
+func (r *Recorder) ClusterObserver() cluster.PhaseObserver { return clusterObserver{r} }
+
+// RecordStep finalizes step's ring entry with whole-step aggregates.
+func (r *Recorder) RecordStep(step int, wall time.Duration, mlups, barrierShare, lockShare float64) {
+	r.mu.Lock()
+	s := r.slotFor(step)
+	s.WallSeconds = wall.Seconds()
+	s.MLUPS = mlups
+	s.BarrierWaitShare = barrierShare
+	s.LockWaitShare = lockShare
+	if step > r.lastStep {
+		r.lastStep = step
+	}
+	r.mu.Unlock()
+}
+
+// WantDigest reports whether step is on the digest cadence.
+func (r *Recorder) WantDigest(step int) bool {
+	return step%r.cfg.DigestEvery == 0
+}
+
+// WantSnapshot reports whether step is on the checkpoint cadence.
+func (r *Recorder) WantSnapshot(step int) bool {
+	return step%r.cfg.SnapshotEvery == 0
+}
+
+// Scratch returns the driver-owned digest buffer for an nx×ny×nz grid,
+// (re)allocating it when the shape changes. The driver has an engine
+// fill it (outside any recorder lock), hands it to the watchdog, then
+// calls RecordDigest. Not safe for concurrent use — it is the single
+// driver goroutine's working buffer.
+func (r *Recorder) Scratch(nx, ny, nz int) (*grid.DigestGrid, error) {
+	if r.scratch == nil || r.scratch.NX != nx || r.scratch.NY != ny || r.scratch.NZ != nz {
+		d, err := grid.NewDigestGrid(nx, ny, nz, r.cfg.TileSize)
+		if err != nil {
+			return nil, err
+		}
+		r.scratch = d
+	}
+	return r.scratch, nil
+}
+
+// RecordDigest copies a filled digest into step's ring entry. The
+// per-slot tile buffer is reused, so the steady state allocates
+// nothing.
+func (r *Recorder) RecordDigest(step int, d *grid.DigestGrid) {
+	r.mu.Lock()
+	s := r.slotFor(step)
+	s.HasDigest = true
+	s.Mass = d.Mass
+	s.MaxVel = d.MaxVel
+	s.NonFinite = d.NonFinite
+	s.Digests = append(s.Digests[:0], d.Tiles...)
+	r.tileK, r.tx, r.ty, r.tz = d.K, d.TX, d.TY, d.TZ
+	if step > r.lastStep {
+		r.lastStep = step
+	}
+	r.mu.Unlock()
+}
+
+// TakeSnapshot checkpoints the current state into memory via write
+// (the facade passes Simulation.Checkpoint). Two buffers alternate so a
+// snapshot that fails midway never destroys the previous good one. Call
+// only while the run is healthy: the retained snapshot is the bundle's
+// "last healthy checkpoint".
+func (r *Recorder) TakeSnapshot(step int, write func(io.Writer) error) error {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	next := (r.snapCur + 1) & 1
+	r.snapBufs[next].Reset()
+	if err := write(&r.snapBufs[next]); err != nil {
+		return fmt.Errorf("flightrec: snapshot at step %d: %w", step, err)
+	}
+	r.snapCur = next
+	r.snapStep = step
+	return nil
+}
+
+// SnapshotStep returns the step of the retained snapshot, −1 if none.
+func (r *Recorder) SnapshotStep() int {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	return r.snapStep
+}
+
+// snapshotBytes returns a copy of the retained checkpoint and its step.
+func (r *Recorder) snapshotBytes() ([]byte, int) {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	if r.snapCur < 0 {
+		return nil, -1
+	}
+	return append([]byte(nil), r.snapBufs[r.snapCur].Bytes()...), r.snapStep
+}
+
+// LastStep returns the most recent step seen, −1 before any.
+func (r *Recorder) LastStep() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastStep
+}
+
+// Records returns the ring's live entries oldest-first as deep copies,
+// safe to read while recording continues.
+func (r *Recorder) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		if s.Step < 0 {
+			continue
+		}
+		c := *s
+		if s.Digests != nil {
+			c.Digests = append([]grid.TileDigest(nil), s.Digests...)
+		}
+		out = append(out, c)
+	}
+	// Slot position is step%N, so position order is only step order up
+	// to rotation — and a step that panicked mid-flight may sit ahead of
+	// lastStep. Sort instead of walking the rotation.
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// tileShape returns the digest tile-grid shape seen so far.
+func (r *Recorder) tileShape() (k, tx, ty, tz int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tileK, r.tx, r.ty, r.tz
+}

@@ -1,0 +1,109 @@
+package flightrec
+
+import (
+	"strings"
+	"testing"
+
+	"lbmib/internal/grid"
+)
+
+// makeDigested builds a record with a uniform 2×2×2 tile digest.
+func makeDigested(step int, tiles int, mass float64) Record {
+	r := Record{Step: step, HasDigest: true, WallSeconds: 1e-3}
+	r.Digests = make([]grid.TileDigest, tiles)
+	for i := range r.Digests {
+		r.Digests[i].Mass = mass
+		r.Mass += mass
+	}
+	return r
+}
+
+func TestLocalizeNonFiniteWinsAndNamesCube(t *testing.T) {
+	recs := []Record{
+		makeDigested(8, 8, 64),
+		makeDigested(16, 8, 64),
+		makeDigested(24, 8, 64),
+	}
+	recs[1].Digests[5].NonFinite = 3 // first contamination at step 16, tile 5
+	recs[1].Digests[5].MaxVel2 = 99  // even with a speed violation alongside
+	recs[2].Digests[6].NonFinite = 7 // spread further by step 24
+	loc := Localize(recs, 4, 2, 2, 2, 0.577)
+	if !loc.Found || loc.Step != 16 || loc.PrevStep != 8 {
+		t.Fatalf("loc = %+v, want found at step 16 (prev 8)", loc)
+	}
+	if loc.Kind != KindNonFinite || loc.Cube != 5 {
+		t.Fatalf("kind=%q cube=%d, want non_finite cube 5", loc.Kind, loc.Cube)
+	}
+	// Tile 5 of a 2×2×2 tile grid is (1,0,1); cells start at (4,0,4).
+	if loc.CubeCoord != ([3]int{1, 0, 1}) || loc.CellOrigin != ([3]int{4, 0, 4}) {
+		t.Fatalf("coord=%v origin=%v", loc.CubeCoord, loc.CellOrigin)
+	}
+	if loc.Phase != "collide_stream" || len(loc.Kernels) == 0 {
+		t.Fatalf("phase=%q kernels=%v", loc.Phase, loc.Kernels)
+	}
+}
+
+func TestLocalizeVelocity(t *testing.T) {
+	recs := []Record{makeDigested(1, 8, 64), makeDigested(2, 8, 64)}
+	recs[1].Digests[2].MaxVel2 = 0.64 // speed 0.8 > 0.577
+	loc := Localize(recs, 4, 2, 2, 2, 0.577)
+	if !loc.Found || loc.Kind != KindVelocity || loc.Cube != 2 || loc.Step != 2 {
+		t.Fatalf("loc = %+v", loc)
+	}
+	if loc.Phase != "update_velocity" {
+		t.Fatalf("phase = %q", loc.Phase)
+	}
+	if !strings.Contains(loc.Detail, "0.8") {
+		t.Fatalf("detail %q does not name the speed", loc.Detail)
+	}
+}
+
+func TestLocalizeMassOutlier(t *testing.T) {
+	recs := []Record{makeDigested(1, 8, 64), makeDigested(2, 8, 64), makeDigested(3, 8, 64)}
+	// Healthy background flux: every tile drifts a little between steps.
+	for i := range recs[1].Digests {
+		recs[1].Digests[i].Mass += 0.001
+	}
+	for i := range recs[2].Digests {
+		recs[2].Digests[i].Mass += 0.002
+	}
+	// Tile 3 gains mass far beyond the median flux at step 2.
+	recs[1].Digests[3].Mass += 0.5
+	loc := Localize(recs, 4, 2, 2, 2, 0.577)
+	if !loc.Found || loc.Kind != KindMass || loc.Cube != 3 || loc.Step != 2 || loc.PrevStep != 1 {
+		t.Fatalf("loc = %+v", loc)
+	}
+	if loc.Phase != "collide_stream" {
+		t.Fatalf("phase = %q", loc.Phase)
+	}
+}
+
+func TestLocalizeHealthyRunFindsNothing(t *testing.T) {
+	recs := []Record{makeDigested(1, 8, 64), makeDigested(2, 8, 64), makeDigested(3, 8, 64)}
+	// Symmetric neighbor flux: equal-magnitude changes in every tile.
+	for i := range recs[1].Digests {
+		recs[1].Digests[i].Mass += 0.01 * float64(1-2*(i%2))
+	}
+	if loc := Localize(recs, 4, 2, 2, 2, 0.577); loc.Found {
+		t.Fatalf("healthy run localized: %+v", loc)
+	}
+	// No digests at all.
+	if loc := Localize([]Record{{Step: 1}}, 4, 2, 2, 2, 0.577); loc.Found {
+		t.Fatal("digest-free ring localized")
+	}
+	if loc := Localize(nil, 0, 0, 0, 0, 0.577); loc.Found {
+		t.Fatal("empty ring localized")
+	}
+}
+
+func TestLocalizeSkipsMismatchedDigests(t *testing.T) {
+	// A record whose digest shape doesn't match the tile grid (e.g. the
+	// grid was resized mid-ring) must be ignored, not misindexed.
+	recs := []Record{makeDigested(1, 27, 64), makeDigested(2, 8, 64)}
+	recs[0].Digests[20].NonFinite = 1
+	recs[1].Digests[1].NonFinite = 1
+	loc := Localize(recs, 4, 2, 2, 2, 0.577)
+	if !loc.Found || loc.Step != 2 || loc.Cube != 1 {
+		t.Fatalf("loc = %+v, want step 2 cube 1", loc)
+	}
+}

@@ -1,0 +1,207 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// TileDigest is the per-tile health summary of one k×k×k block of fluid
+// nodes: the block's distribution mass, its largest squared speed, and
+// how many of its scalar fields are NaN/Inf. Tiles coincide with the
+// cube engine's cubes when the tile size equals the cube size, which is
+// what lets the flight recorder's fault localization name the cube a
+// blow-up started in.
+type TileDigest struct {
+	Mass      float64 `json:"mass"`
+	MaxVel2   float64 `json:"maxVel2"`
+	NonFinite int32   `json:"nonFinite,omitempty"`
+}
+
+// DigestGrid is one full per-tile digest of a fluid grid, plus the
+// whole-grid aggregates the physics watchdog checks. The tile grid is a
+// ceil-division of the fluid grid: edge tiles are smaller when K does
+// not divide a dimension, so every fluid shape (not just cube-divisible
+// ones) can be digested.
+type DigestGrid struct {
+	K          int // tile edge (nodes)
+	NX, NY, NZ int // fluid grid dimensions
+	TX, TY, TZ int // tile grid dimensions (ceil(N/K))
+	Tiles      []TileDigest
+
+	// Whole-grid aggregates, accumulated by the same pass.
+	Mass      float64
+	MaxVel    float64
+	NonFinite int
+
+	// MaxVelCell is the coordinate of the fastest node, and BadCell the
+	// first node with a non-finite ρ or u (or {-1,-1,-1} when all nodes
+	// are finite) — the evidence HealthError reports.
+	MaxVelCell [3]int
+	BadCell    [3]int
+}
+
+// NewDigestGrid allocates a digest for an nx×ny×nz grid at tile size k.
+func NewDigestGrid(nx, ny, nz, k int) (*DigestGrid, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("grid: non-positive digest tile size %d", k)
+	}
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("grid: non-positive digest dimensions %d×%d×%d", nx, ny, nz)
+	}
+	d := &DigestGrid{
+		K: k, NX: nx, NY: ny, NZ: nz,
+		TX: (nx + k - 1) / k, TY: (ny + k - 1) / k, TZ: (nz + k - 1) / k,
+	}
+	d.Tiles = make([]TileDigest, d.TX*d.TY*d.TZ)
+	return d, nil
+}
+
+// NumTiles returns the number of tiles.
+func (d *DigestGrid) NumTiles() int { return d.TX * d.TY * d.TZ }
+
+// TileIndex returns the flat index of tile (tx, ty, tz).
+func (d *DigestGrid) TileIndex(tx, ty, tz int) int { return (tx*d.TY+ty)*d.TZ + tz }
+
+// TileCoord inverts TileIndex.
+func (d *DigestGrid) TileCoord(t int) (tx, ty, tz int) {
+	return t / (d.TY * d.TZ), (t / d.TZ) % d.TY, t % d.TZ
+}
+
+// TileOf returns the flat tile index containing fluid node (x, y, z).
+func (d *DigestGrid) TileOf(x, y, z int) int {
+	return d.TileIndex(x/d.K, y/d.K, z/d.K)
+}
+
+// reset clears the accumulators for a fresh pass.
+func (d *DigestGrid) reset() {
+	for i := range d.Tiles {
+		d.Tiles[i] = TileDigest{}
+	}
+	d.Mass = 0
+	d.MaxVel = 0
+	d.NonFinite = 0
+	d.MaxVelCell = [3]int{}
+	d.BadCell = [3]int{-1, -1, -1}
+}
+
+// finish derives the whole-grid aggregates from the filled tiles.
+func (d *DigestGrid) finish() {
+	mass := 0.0
+	maxV2 := 0.0
+	nonFinite := 0
+	for i := range d.Tiles {
+		mass += d.Tiles[i].Mass
+		if d.Tiles[i].MaxVel2 > maxV2 {
+			maxV2 = d.Tiles[i].MaxVel2
+		}
+		nonFinite += int(d.Tiles[i].NonFinite)
+	}
+	d.Mass = mass
+	d.MaxVel = math.Sqrt(maxV2)
+	d.NonFinite = nonFinite
+}
+
+// digestNode folds one node into tile t, tracking the argmax-velocity
+// and first-bad cells. It reads the present distribution buffer (buf
+// parity cur), so callers may digest a live swapped grid without
+// normalizing it first.
+func (d *DigestGrid) digestNode(n *Node, cur, t, x, y, z int) {
+	td := &d.Tiles[t]
+	mass := 0.0
+	for _, v := range n.Buf(cur) {
+		mass += v
+	}
+	td.Mass += mass
+	v := n.Vel
+	v2 := v[0]*v[0] + v[1]*v[1] + v[2]*v[2]
+	if v2 > td.MaxVel2 {
+		td.MaxVel2 = v2
+		if v2 > d.MaxVel {
+			d.MaxVel = v2 // holds v² during the pass; finish() square-roots it
+			d.MaxVelCell = [3]int{x, y, z}
+		}
+	}
+	if math.IsNaN(n.Rho) || math.IsInf(n.Rho, 0) ||
+		math.IsNaN(v[0]) || math.IsInf(v[0], 0) ||
+		math.IsNaN(v[1]) || math.IsInf(v[1], 0) ||
+		math.IsNaN(v[2]) || math.IsInf(v[2], 0) ||
+		math.IsNaN(mass) || math.IsInf(mass, 0) {
+		td.NonFinite++
+		if d.BadCell[0] < 0 {
+			d.BadCell = [3]int{x, y, z}
+		}
+	}
+}
+
+// DigestCubeMajor fills d from nodes stored cube-major (contiguous
+// cubeK³ blocks in (cx*CY+cy)*CZ+cz order, z-fastest within a block —
+// the cube engine's layout). It digests the blocks in storage order, so
+// the cube engine avoids the strided walk a slab-order pass would make
+// over its memory. When cubeK equals d.K the tiles coincide with the
+// cubes and the tile index is hoisted out of the inner loops.
+func (d *DigestGrid) DigestCubeMajor(nodes []Node, cubeK, cur int) error {
+	if len(nodes) != d.NX*d.NY*d.NZ {
+		return fmt.Errorf("grid: digest over %d cube-major nodes, want %d", len(nodes), d.NX*d.NY*d.NZ)
+	}
+	if cubeK < 1 || d.NX%cubeK != 0 || d.NY%cubeK != 0 || d.NZ%cubeK != 0 {
+		return fmt.Errorf("grid: cube size %d does not tile %d×%d×%d", cubeK, d.NX, d.NY, d.NZ)
+	}
+	d.reset()
+	k := cubeK
+	cy, cz := d.NY/k, d.NZ/k
+	i := 0
+	for cx := 0; cx < d.NX/k; cx++ {
+		for cyi := 0; cyi < cy; cyi++ {
+			for czi := 0; czi < cz; czi++ {
+				x0, y0, z0 := cx*k, cyi*k, czi*k
+				if k == d.K {
+					t := d.TileIndex(cx, cyi, czi)
+					for lx := 0; lx < k; lx++ {
+						for ly := 0; ly < k; ly++ {
+							for lz := 0; lz < k; lz++ {
+								d.digestNode(&nodes[i], cur, t, x0+lx, y0+ly, z0+lz)
+								i++
+							}
+						}
+					}
+				} else {
+					for lx := 0; lx < k; lx++ {
+						for ly := 0; ly < k; ly++ {
+							for lz := 0; lz < k; lz++ {
+								x, y, z := x0+lx, y0+ly, z0+lz
+								d.digestNode(&nodes[i], cur, d.TileOf(x, y, z), x, y, z)
+								i++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	d.finish()
+	return nil
+}
+
+// Digest fills d from the grid in one pass over the nodes. d's
+// dimensions must match the grid; the tile size is d.K.
+func (g *Grid) Digest(d *DigestGrid) error {
+	if d.NX != g.NX || d.NY != g.NY || d.NZ != g.NZ {
+		return fmt.Errorf("grid: digest shaped %d×%d×%d, grid %d×%d×%d",
+			d.NX, d.NY, d.NZ, g.NX, g.NY, g.NZ)
+	}
+	d.reset()
+	cur := g.cur
+	i := 0
+	for x := 0; x < g.NX; x++ {
+		tx := (x / d.K) * d.TY * d.TZ
+		for y := 0; y < g.NY; y++ {
+			txy := tx + (y/d.K)*d.TZ
+			for z := 0; z < g.NZ; z++ {
+				d.digestNode(&g.Nodes[i], cur, txy+z/d.K, x, y, z)
+				i++
+			}
+		}
+	}
+	d.finish()
+	return nil
+}

@@ -1,0 +1,22 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the info-style lbmib_build_info gauge,
+// valued 1 with the module version and Go toolchain as labels — the
+// Prometheus convention for identifying the binary behind a scrape, and
+// how post-mortem bundles record which build produced them. It returns
+// the version label for callers that want to embed it elsewhere.
+func RegisterBuildInfo(r *Registry) string {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.Gauge("lbmib_build_info",
+		"Constant 1; the labels identify the lbmib build and Go toolchain.",
+		L("version", version), L("go", runtime.Version())).Set(1)
+	return version
+}

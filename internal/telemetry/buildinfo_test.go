@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	version := RegisterBuildInfo(r)
+	if version == "" {
+		t.Fatal("empty version")
+	}
+	found := false
+	for _, s := range r.Snapshot() {
+		if s.Name != "lbmib_build_info" {
+			continue
+		}
+		found = true
+		if s.Value != 1 {
+			t.Fatalf("value = %g, want 1", s.Value)
+		}
+		if s.Labels["version"] != version || s.Labels["go"] != runtime.Version() {
+			t.Fatalf("labels = %v", s.Labels)
+		}
+	}
+	if !found {
+		t.Fatal("lbmib_build_info not registered")
+	}
+	// Exposition carries the labels.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lbmib_build_info{") {
+		t.Fatalf("exposition missing build info:\n%s", b.String())
+	}
+	// Idempotent: re-registering must not panic or duplicate.
+	RegisterBuildInfo(r)
+}

@@ -31,6 +31,33 @@ type StepRecord struct {
 	// LockWaitShare is the fraction of total thread-time spent blocked on
 	// spreading locks so far.
 	LockWaitShare float64 `json:"lockWaitShare,omitempty"`
+	// Unhealthy carries the watchdog's latched violation on the step it
+	// fires (absent on healthy steps).
+	Unhealthy *UnhealthyRecord `json:"unhealthy,omitempty"`
+}
+
+// UnhealthyRecord is the steplog form of a HealthError: what broke and,
+// when the watchdog could localize it, where.
+type UnhealthyRecord struct {
+	Reason string `json:"reason"`
+	Cell   []int  `json:"cell,omitempty"`
+	Cube   int    `json:"cube"` // flat cube index, −1 when not localized
+	Phase  string `json:"phase,omitempty"`
+}
+
+// NewUnhealthyRecord converts a HealthError for the steplog, or nil.
+func NewUnhealthyRecord(he *HealthError) *UnhealthyRecord {
+	if he == nil {
+		return nil
+	}
+	u := &UnhealthyRecord{Reason: he.Reason, Cube: he.Cube, Phase: he.Phase}
+	if he.HasCell {
+		u.Cell = []int{he.Cell[0], he.Cell[1], he.Cell[2]}
+	}
+	if u.Cube == 0 && he.CubeSize == 0 { // zero-valued HealthError
+		u.Cube = -1
+	}
+	return u
 }
 
 // StepLogger writes StepRecords as JSON Lines. Safe for concurrent use.

@@ -54,3 +54,35 @@ func TestStepLoggerConcurrent(t *testing.T) {
 		t.Fatalf("got %d lines, want 400", lines)
 	}
 }
+
+func TestStepRecordUnhealthyRoundTrip(t *testing.T) {
+	he := &HealthError{
+		Step: 7, Reason: "non-finite state at node (1,2,3): rho=NaN",
+		Cell: [3]int{1, 2, 3}, HasCell: true, Cube: 5, CubeSize: 4,
+		Phase: "update_velocity",
+	}
+	var buf bytes.Buffer
+	l := NewStepLogger(&buf)
+	if err := l.Log(StepRecord{Step: 7, Mass: 1, MaxVel: 2, Unhealthy: NewUnhealthyRecord(he)}); err != nil {
+		t.Fatal(err)
+	}
+	var rec StepRecord
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	u := rec.Unhealthy
+	if u == nil || u.Cube != 5 || u.Phase != "update_velocity" || len(u.Cell) != 3 || u.Cell[2] != 3 {
+		t.Fatalf("unhealthy record lost fields: %+v", u)
+	}
+	if NewUnhealthyRecord(nil) != nil {
+		t.Fatal("nil HealthError must map to nil record")
+	}
+	// Healthy records must not grow an unhealthy key.
+	buf.Reset()
+	if err := l.Log(StepRecord{Step: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("unhealthy")) {
+		t.Fatalf("healthy record leaked unhealthy field: %s", buf.String())
+	}
+}

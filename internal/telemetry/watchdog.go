@@ -3,16 +3,27 @@ package telemetry
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 
 	"lbmib/internal/grid"
 )
 
 // HealthError reports the step at which a simulation first violated a
-// physics invariant, and why.
+// physics invariant, and why. When the violation can be pinned to a
+// fluid node, Cell/HasCell name it, Cube is the flat index of the
+// CubeSize³ tile containing it (−1 when no tile could be named), and
+// Phase names the solver phase that computes the violated field — the
+// evidence the flight recorder's fault localization starts from.
 type HealthError struct {
 	Step   int
 	Reason string
+
+	Cell     [3]int
+	HasCell  bool
+	Cube     int
+	CubeSize int
+	Phase    string
 }
 
 // Error implements error.
@@ -32,22 +43,40 @@ type WatchdogConfig struct {
 	// the lattice sound speed 1/√3 ≈ 0.577: beyond it the D3Q19 model is
 	// meaningless. Tighter values (≈0.1) catch marginal runs earlier.
 	MaxVelocity float64
+	// CubeSize is the edge of the digest tiles violations are localized
+	// to (default 4, the cube solver's usual cube size, so the named
+	// tile is the named cube).
+	CubeSize int
 	// Registry, when non-nil, receives lbmib_mass, lbmib_mass_drift,
 	// lbmib_max_velocity and lbmib_unhealthy gauges updated on every
-	// check.
+	// check, plus a labeled lbmib_unhealthy_cube gauge once a violation
+	// is localized.
 	Registry *Registry
 }
+
+// Phase names used for violation attribution: the distributions are
+// produced by the collide/stream phase, ρ and u by the moment update.
+// They match cubesolver.Phase strings so localization reports read the
+// same as phase profiles.
+const (
+	phaseCollideStream  = "collide_stream"
+	phaseUpdateVelocity = "update_velocity"
+)
 
 // Watchdog samples per-step physics health: total mass drift, maximum
 // velocity, and NaN/Inf contamination of ρ and u. The first violation is
 // latched — Healthy() turns false, Err() returns a *HealthError naming
 // the exact step, and later Checks return the same error without
-// rescanning, so a driver can abort or merely flag the run.
+// rescanning, so a driver can abort or merely flag the run. Checks run
+// through a per-tile digest (grid.DigestGrid), so a latched failure also
+// names the first offending cell and cube.
 type Watchdog struct {
 	cfg WatchdogConfig
 
 	mu       sync.Mutex
+	dig      *grid.DigestGrid
 	refMass  float64
+	refTiles []float64
 	haveRef  bool
 	checks   int
 	failErr  *HealthError
@@ -66,6 +95,9 @@ func NewWatchdog(cfg WatchdogConfig) *Watchdog {
 	if cfg.MaxVelocity == 0 {
 		cfg.MaxVelocity = 1 / math.Sqrt(3)
 	}
+	if cfg.CubeSize < 1 {
+		cfg.CubeSize = 4
+	}
 	w := &Watchdog{cfg: cfg}
 	if r := cfg.Registry; r != nil {
 		w.gMass = r.Gauge("lbmib_mass", "Total distribution mass of the fluid grid.")
@@ -76,45 +108,74 @@ func NewWatchdog(cfg WatchdogConfig) *Watchdog {
 	return w
 }
 
+// CubeSize returns the digest tile edge violations are localized to.
+func (w *Watchdog) CubeSize() int { return w.cfg.CubeSize }
+
 // Check scans the grid after the given step. It returns nil while the
-// run is healthy and the latched *HealthError once it is not. One pass
-// over the nodes computes total mass, the maximum speed, and NaN/Inf
-// detection on ρ and u.
+// run is healthy and the latched *HealthError once it is not. One
+// digest pass over the nodes computes total and per-tile mass, the
+// maximum speed, and NaN/Inf detection on ρ, u and the distributions.
 func (w *Watchdog) Check(step int, g *grid.Grid) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failErr != nil {
 		return w.failErr
 	}
-	w.checks++
+	if w.dig == nil || w.dig.NX != g.NX || w.dig.NY != g.NY || w.dig.NZ != g.NZ {
+		d, err := grid.NewDigestGrid(g.NX, g.NY, g.NZ, w.cfg.CubeSize)
+		if err != nil {
+			return err
+		}
+		w.dig = d
+	}
+	if err := g.Digest(w.dig); err != nil {
+		return err
+	}
+	return w.evaluate(step, w.dig, g)
+}
 
-	mass := 0.0
-	maxV2 := 0.0
-	badNode := -1
-	badWhat := ""
-	for i := range g.Nodes {
-		n := &g.Nodes[i]
-		if badNode < 0 {
-			if math.IsNaN(n.Rho) || math.IsInf(n.Rho, 0) {
-				badNode, badWhat = i, fmt.Sprintf("rho=%g", n.Rho)
-			} else if math.IsNaN(n.Vel[0]) || math.IsNaN(n.Vel[1]) || math.IsNaN(n.Vel[2]) ||
-				math.IsInf(n.Vel[0], 0) || math.IsInf(n.Vel[1], 0) || math.IsInf(n.Vel[2], 0) {
-				badNode, badWhat = i, fmt.Sprintf("u=(%g,%g,%g)", n.Vel[0], n.Vel[1], n.Vel[2])
-			}
+// CheckDigest evaluates a digest some other pass already computed (the
+// flight recorder digests every sampled step; re-scanning the grid here
+// would double that cost). The same latching semantics as Check apply.
+func (w *Watchdog) CheckDigest(step int, d *grid.DigestGrid) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failErr != nil {
+		return w.failErr
+	}
+	return w.evaluate(step, d, nil)
+}
+
+// describeBadNode classifies which field of the node at the digest's
+// BadCell is non-finite, and the phase that produces it. g may be nil
+// (digest-only checks), in which case the classification is generic.
+func describeBadNode(d *grid.DigestGrid, g *grid.Grid) (what, phase string) {
+	if g != nil {
+		n := g.At(d.BadCell[0], d.BadCell[1], d.BadCell[2])
+		if math.IsNaN(n.Rho) || math.IsInf(n.Rho, 0) {
+			return fmt.Sprintf("rho=%g", n.Rho), phaseUpdateVelocity
 		}
-		for _, v := range n.DF { //lint:allow paritycheck -- watchdog inspects Normalize()d snapshots, where DF is the present buffer by contract
-			mass += v
-		}
-		v2 := n.Vel[0]*n.Vel[0] + n.Vel[1]*n.Vel[1] + n.Vel[2]*n.Vel[2]
-		if v2 > maxV2 {
-			maxV2 = v2
+		if math.IsNaN(n.Vel[0]) || math.IsNaN(n.Vel[1]) || math.IsNaN(n.Vel[2]) ||
+			math.IsInf(n.Vel[0], 0) || math.IsInf(n.Vel[1], 0) || math.IsInf(n.Vel[2], 0) {
+			return fmt.Sprintf("u=(%g,%g,%g)", n.Vel[0], n.Vel[1], n.Vel[2]), phaseUpdateVelocity
 		}
 	}
-	maxV := math.Sqrt(maxV2)
+	return "non-finite distribution mass", phaseCollideStream
+}
+
+// evaluate applies the invariants to a filled digest (w.mu held). g, when
+// non-nil, is only consulted to describe the offending node's fields.
+func (w *Watchdog) evaluate(step int, d *grid.DigestGrid, g *grid.Grid) error {
+	w.checks++
+	mass, maxV := d.Mass, d.MaxVel
 
 	if !w.haveRef {
 		w.haveRef = true
 		w.refMass = mass
+		w.refTiles = make([]float64, len(d.Tiles))
+		for i := range d.Tiles {
+			w.refTiles[i] = d.Tiles[i].Mass
+		}
 	}
 	drift := 0.0
 	if w.refMass != 0 {
@@ -127,30 +188,66 @@ func (w *Watchdog) Check(step int, g *grid.Grid) error {
 		w.gMaxVel.Set(maxV)
 	}
 
-	fail := func(reason string) error {
-		w.failErr = &HealthError{Step: step, Reason: reason}
+	fail := func(reason, phase string, cell [3]int, hasCell bool, cube int) error {
+		w.failErr = &HealthError{
+			Step: step, Reason: reason,
+			Cell: cell, HasCell: hasCell,
+			Cube: cube, CubeSize: d.K, Phase: phase,
+		}
 		if w.gHealthy != nil {
 			w.gHealthy.Set(1)
 		}
+		if r := w.cfg.Registry; r != nil && cube >= 0 {
+			labels := []Label{L("cube", strconv.Itoa(cube)), L("phase", phase)}
+			if hasCell {
+				labels = append(labels, L("cell", fmt.Sprintf("%d,%d,%d", cell[0], cell[1], cell[2])))
+			}
+			r.Gauge("lbmib_unhealthy_cube",
+				"1 for the first cube (and cell) the watchdog localized a violation to.",
+				labels...).Set(1)
+		}
 		return w.failErr
 	}
-	if badNode >= 0 {
-		x, y, z := badNode/(g.NY*g.NZ), (badNode/g.NZ)%g.NY, badNode%g.NZ
-		return fail(fmt.Sprintf("non-finite state at node (%d,%d,%d): %s", x, y, z, badWhat))
+
+	if d.BadCell[0] >= 0 {
+		what, phase := describeBadNode(d, g)
+		c := d.BadCell
+		return fail(fmt.Sprintf("non-finite state at node (%d,%d,%d): %s", c[0], c[1], c[2], what),
+			phase, c, true, d.TileOf(c[0], c[1], c[2]))
 	}
 	// A NaN anywhere in the distributions poisons the mass sum even
 	// before it reaches ρ/u, so check the aggregate too.
 	if math.IsNaN(mass) || math.IsInf(mass, 0) {
-		return fail(fmt.Sprintf("non-finite total mass %g", mass))
+		return fail(fmt.Sprintf("non-finite total mass %g", mass), phaseCollideStream, [3]int{}, false, -1)
 	}
 	if drift > w.cfg.MassDriftTol {
+		cube := w.worstDriftTile(d)
 		return fail(fmt.Sprintf("total mass drifted %.3g relative (tolerance %.3g): %g vs initial %g",
-			drift, w.cfg.MassDriftTol, mass, w.refMass))
+			drift, w.cfg.MassDriftTol, mass, w.refMass), phaseCollideStream, [3]int{}, false, cube)
 	}
 	if maxV > w.cfg.MaxVelocity {
-		return fail(fmt.Sprintf("max speed %.4g exceeds limit %.4g", maxV, w.cfg.MaxVelocity))
+		c := d.MaxVelCell
+		return fail(fmt.Sprintf("max speed %.4g exceeds limit %.4g at node (%d,%d,%d)",
+			maxV, w.cfg.MaxVelocity, c[0], c[1], c[2]),
+			phaseUpdateVelocity, c, true, d.TileOf(c[0], c[1], c[2]))
 	}
 	return nil
+}
+
+// worstDriftTile names the tile whose mass moved furthest from its
+// reference, or −1 when the reference tiling doesn't match this digest.
+func (w *Watchdog) worstDriftTile(d *grid.DigestGrid) int {
+	if len(w.refTiles) != len(d.Tiles) {
+		return -1
+	}
+	worst, worstDev := -1, 0.0
+	for i := range d.Tiles {
+		dev := math.Abs(d.Tiles[i].Mass - w.refTiles[i])
+		if dev > worstDev {
+			worst, worstDev = i, dev
+		}
+	}
+	return worst
 }
 
 // Healthy reports whether no violation has been latched.

@@ -119,3 +119,100 @@ func TestWatchdogGauges(t *testing.T) {
 		t.Fatal("unhealthy gauge not raised")
 	}
 }
+
+// TestWatchdogLocalizesViolation asserts the latched HealthError carries
+// the offending cell, its cube, and the attributed phase, and that the
+// labeled lbmib_unhealthy_cube gauge appears.
+func TestWatchdogLocalizesViolation(t *testing.T) {
+	r := NewRegistry()
+	g := grid.New(8, 8, 8)
+	wd := NewWatchdog(WatchdogConfig{Registry: r, CubeSize: 4})
+	g.At(5, 6, 7).Rho = math.NaN()
+	err := wd.Check(2, g)
+	var he *HealthError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %T (%v), want *HealthError", err, err)
+	}
+	if !he.HasCell || he.Cell != ([3]int{5, 6, 7}) {
+		t.Fatalf("Cell = %v (has=%v), want {5,6,7}", he.Cell, he.HasCell)
+	}
+	wantCube := (1*2+1)*2 + 1 // tile (1,1,1) of the 2×2×2 tile grid
+	if he.Cube != wantCube || he.CubeSize != 4 {
+		t.Fatalf("Cube = %d (size %d), want %d (size 4)", he.Cube, he.CubeSize, wantCube)
+	}
+	if he.Phase != "update_velocity" {
+		t.Fatalf("Phase = %q, want update_velocity", he.Phase)
+	}
+	if !strings.Contains(he.Reason, "(5,6,7)") {
+		t.Fatalf("Reason %q does not name the cell", he.Reason)
+	}
+	got := r.Gauge("lbmib_unhealthy_cube", "",
+		L("cube", "7"), L("phase", "update_velocity"), L("cell", "5,6,7")).Value()
+	if got != 1 {
+		t.Fatalf("lbmib_unhealthy_cube = %g, want 1", got)
+	}
+}
+
+// TestWatchdogSpeedViolationNamesCell asserts the argmax-velocity cell
+// is attached to speed-limit violations.
+func TestWatchdogSpeedViolationNamesCell(t *testing.T) {
+	g := grid.New(8, 8, 8)
+	wd := NewWatchdog(WatchdogConfig{MaxVelocity: 0.1, CubeSize: 4})
+	g.At(1, 2, 3).Vel = [3]float64{0.2, 0, 0}
+	err := wd.Check(1, g)
+	var he *HealthError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %T, want *HealthError", err)
+	}
+	if !he.HasCell || he.Cell != ([3]int{1, 2, 3}) || he.Phase != "update_velocity" {
+		t.Fatalf("Cell=%v has=%v Phase=%q", he.Cell, he.HasCell, he.Phase)
+	}
+	if he.Cube != 0 {
+		t.Fatalf("Cube = %d, want 0", he.Cube)
+	}
+}
+
+// TestWatchdogDriftNamesWorstCube asserts mass-drift violations name the
+// cube whose mass moved furthest from the reference.
+func TestWatchdogDriftNamesWorstCube(t *testing.T) {
+	g := grid.New(8, 8, 8)
+	wd := NewWatchdog(WatchdogConfig{MassDriftTol: 1e-6, CubeSize: 4})
+	if err := wd.Check(0, g); err != nil {
+		t.Fatal(err)
+	}
+	g.At(6, 6, 6).DF[0] += 1.0 // inject mass into tile (1,1,1)
+	err := wd.Check(1, g)
+	var he *HealthError
+	if !errors.As(err, &he) {
+		t.Fatalf("got %T, want *HealthError", err)
+	}
+	if he.Cube != 7 || he.HasCell || he.Phase != "collide_stream" {
+		t.Fatalf("Cube=%d has=%v Phase=%q, want cube 7, no cell, collide_stream", he.Cube, he.HasCell, he.Phase)
+	}
+}
+
+// TestWatchdogCheckDigest exercises the digest-only entry point used by
+// the flight recorder.
+func TestWatchdogCheckDigest(t *testing.T) {
+	g := grid.New(8, 8, 8)
+	g.At(0, 0, 1).DF[3] = math.NaN()
+	d, err := grid.NewDigestGrid(8, 8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Digest(d); err != nil {
+		t.Fatal(err)
+	}
+	wd := NewWatchdog(WatchdogConfig{})
+	herr := wd.CheckDigest(3, d)
+	var he *HealthError
+	if !errors.As(herr, &he) {
+		t.Fatalf("got %T, want *HealthError", herr)
+	}
+	if he.Step != 3 || !he.HasCell || he.Cell != ([3]int{0, 0, 1}) || he.Phase != "collide_stream" {
+		t.Fatalf("digest check mislocalized: %+v", he)
+	}
+	if wd.Healthy() {
+		t.Fatal("CheckDigest did not latch")
+	}
+}

@@ -32,6 +32,7 @@
 package lbmib
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -40,6 +41,7 @@ import (
 	"lbmib/internal/core"
 	"lbmib/internal/cubesolver"
 	"lbmib/internal/fiber"
+	"lbmib/internal/flightrec"
 	"lbmib/internal/grid"
 	"lbmib/internal/lattice"
 	"lbmib/internal/omp"
@@ -180,6 +182,16 @@ type Config struct {
 	// once it flags the run, Run stops early and Health reports the
 	// violation. Per-step sampling costs one grid scan per step.
 	Watchdog *telemetry.Watchdog
+	// FlightRec, when non-nil, keeps an always-on flight recorder: a
+	// fixed-size ring of per-step records (kernel/phase timings, per-cube
+	// physics digests, contention shares) plus periodic in-memory
+	// checkpoints. When the Watchdog latches or a Step panics, a
+	// post-mortem bundle is written to FlightRec.Dir (see
+	// internal/flightrec); WritePostMortem writes one on demand. A zero
+	// flightrec.Config{} takes the documented default cadences. With a
+	// Watchdog configured alongside, the watchdog's per-step grid scan is
+	// replaced by the recorder's digest pass, not added to it.
+	FlightRec *flightrec.Config
 	// Contention, when true, attributes waiting time: per-site barrier
 	// waits and spreading-lock waits (CubeBased and OpenMP engines),
 	// per-thread phase times, and — for the CubeBased engine — a per-cube
@@ -197,6 +209,7 @@ type engine interface {
 	run(n int)
 	stepCount() int
 	snapshot() *grid.Grid
+	digest(d *grid.DigestGrid) error // per-tile physics digest of the live state
 	load(g *grid.Grid) error
 	velocityAt(x, y, z int) [3]float64
 	densityAt(x, y, z int) float64
@@ -210,6 +223,7 @@ type engine interface {
 // the histograms matching the selected engine are registered.
 type stepInstr struct {
 	tracer     *telemetry.Tracer
+	rec        *flightrec.Recorder
 	kernelHist [core.NumKernels + 1]*telemetry.Histogram
 	phaseHist  [cubesolver.NumPhases + 1]*telemetry.Histogram
 
@@ -227,6 +241,9 @@ func (si *stepInstr) KernelDone(step int, k core.Kernel, d time.Duration) {
 	if si.tracer != nil {
 		si.tracer.KernelDone(step, k, d)
 	}
+	if si.rec != nil {
+		si.rec.KernelObserved(step, k, d)
+	}
 	if k >= 1 && k <= core.NumKernels && si.kernelHist[k] != nil {
 		si.kernelHist[k].Observe(d.Seconds())
 	}
@@ -236,6 +253,9 @@ func (si *stepInstr) KernelDone(step int, k core.Kernel, d time.Duration) {
 func (si *stepInstr) PhaseDone(step, tid int, p cubesolver.Phase, d time.Duration) {
 	if si.tracer != nil {
 		si.tracer.PhaseDone(step, tid, p, d)
+	}
+	if si.rec != nil {
+		si.rec.PhaseObserved(step, tid, p, d)
 	}
 	if p >= 1 && p <= cubesolver.NumPhases && si.phaseHist[p] != nil {
 		si.phaseHist[p].Observe(d.Seconds())
@@ -257,6 +277,7 @@ type Simulation struct {
 	traceFile *os.File
 	logger    *telemetry.StepLogger
 	watchdog  *telemetry.Watchdog
+	rec       *flightrec.Recorder
 	mSteps    *telemetry.Counter
 	mMLUPS    *telemetry.Gauge
 	mStepSec  *telemetry.Histogram
@@ -421,15 +442,31 @@ func (s *Simulation) initTelemetry() error {
 		s.tracer = telemetry.NewTracer()
 	}
 	if r := cfg.Telemetry; r != nil {
+		telemetry.RegisterBuildInfo(r)
 		s.mSteps = r.Counter("lbmib_steps_total", "Completed time steps.")
 		s.mMLUPS = r.Gauge("lbmib_mlups", "Million lattice-node updates per second over the last Run batch.")
 		s.mStepSec = r.Histogram("lbmib_step_seconds", "Wall-clock time per time step.",
 			telemetry.ExpBuckets(1e-4, 2, 18))
 	}
-	if s.tracer == nil && cfg.Telemetry == nil && !cfg.Contention {
+	if fc := cfg.FlightRec; fc != nil {
+		c := *fc
+		if c.TileSize == 0 {
+			switch cfg.Solver {
+			case CubeBased, TaskScheduled:
+				// Make digest tiles coincide with the engine's cubes so
+				// localization names real cubes.
+				if c.TileSize = cfg.CubeSize; c.TileSize == 0 {
+					c.TileSize = 4
+				}
+			}
+		}
+		s.rec = flightrec.New(c)
+		s.rec.SetRunSpec(s.runSpec())
+	}
+	if s.tracer == nil && cfg.Telemetry == nil && !cfg.Contention && s.rec == nil {
 		return nil
 	}
-	si := &stepInstr{tracer: s.tracer, threads: cfg.Threads}
+	si := &stepInstr{tracer: s.tracer, rec: s.rec, threads: cfg.Threads}
 	if r := cfg.Telemetry; r != nil {
 		buckets := telemetry.ExpBuckets(1e-5, 2, 18)
 		switch cfg.Solver {
@@ -469,7 +506,86 @@ func (s *Simulation) initTelemetry() error {
 // bookkeeping.
 func (s *Simulation) instrumented() bool {
 	return s.mSteps != nil || s.tracer != nil || s.logger != nil || s.watchdog != nil ||
-		s.cfg.Contention
+		s.rec != nil || s.cfg.Contention
+}
+
+// runSpec describes this run for post-mortem bundles: enough to rebuild
+// an equivalent Config and Restore the bundled checkpoint into it.
+func (s *Simulation) runSpec() flightrec.RunSpec {
+	cfg := s.cfg
+	bname := func(b Boundary) string {
+		if b == NoSlip {
+			return "noslip"
+		}
+		return "periodic"
+	}
+	spec := flightrec.RunSpec{
+		NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ,
+		Tau:       cfg.Tau,
+		BodyForce: cfg.BodyForce,
+		BoundaryX: bname(cfg.BoundaryX), BoundaryY: bname(cfg.BoundaryY), BoundaryZ: bname(cfg.BoundaryZ),
+		LidVelocity: cfg.LidVelocity,
+		Solver:      cfg.Solver.String(),
+		Threads:     cfg.Threads,
+		CubeSize:    cfg.CubeSize,
+	}
+	for _, sc := range append(append([]*SheetConfig(nil), cfg.Sheets...), cfg.Sheet) {
+		if sc == nil {
+			continue
+		}
+		spec.Sheets = append(spec.Sheets, flightrec.SheetSpec{
+			NumFibers: sc.NumFibers, NodesPerFiber: sc.NodesPerFiber,
+			Width: sc.Width, Height: sc.Height, Origin: sc.Origin,
+			Ks: sc.Ks, Kb: sc.Kb, FixedRadius: sc.FixedRadius,
+		})
+	}
+	return spec
+}
+
+// ConfigFromRunSpec rebuilds a Config from a bundle's RunSpec, the
+// inverse of the description embedded by the flight recorder. The
+// returned Config has no telemetry attached; callers add their own.
+func ConfigFromRunSpec(spec flightrec.RunSpec) (Config, error) {
+	solver, err := ParseSolverKind(spec.Solver)
+	if err != nil {
+		return Config{}, err
+	}
+	bparse := func(name string) (Boundary, error) {
+		switch name {
+		case "", "periodic":
+			return Periodic, nil
+		case "noslip":
+			return NoSlip, nil
+		default:
+			return 0, fmt.Errorf("lbmib: unknown boundary %q", name)
+		}
+	}
+	cfg := Config{
+		NX: spec.NX, NY: spec.NY, NZ: spec.NZ,
+		Tau:         spec.Tau,
+		BodyForce:   spec.BodyForce,
+		LidVelocity: spec.LidVelocity,
+		Solver:      solver,
+		Threads:     spec.Threads,
+		CubeSize:    spec.CubeSize,
+	}
+	if cfg.BoundaryX, err = bparse(spec.BoundaryX); err != nil {
+		return Config{}, err
+	}
+	if cfg.BoundaryY, err = bparse(spec.BoundaryY); err != nil {
+		return Config{}, err
+	}
+	if cfg.BoundaryZ, err = bparse(spec.BoundaryZ); err != nil {
+		return Config{}, err
+	}
+	for _, sh := range spec.Sheets {
+		cfg.Sheets = append(cfg.Sheets, &SheetConfig{
+			NumFibers: sh.NumFibers, NodesPerFiber: sh.NodesPerFiber,
+			Width: sh.Width, Height: sh.Height, Origin: sh.Origin,
+			Ks: sh.Ks, Kb: sh.Kb, FixedRadius: sh.FixedRadius,
+		})
+	}
+	return cfg, nil
 }
 
 // Step advances one time step (the nine kernels of Algorithm 1).
@@ -481,8 +597,9 @@ func (s *Simulation) Run(n int) { s.runSteps(n) }
 
 // runSteps drives the engine with whatever bookkeeping the configured
 // telemetry requires: nothing extra without telemetry, batch timing with
-// a Registry alone, and a per-step grid scan when a LogWriter or
-// Watchdog needs per-step physics.
+// a Registry alone, and a per-step pass when a LogWriter, Watchdog or
+// flight recorder needs per-step physics. With a recorder configured, a
+// panicking step still leaves a post-mortem bundle behind.
 func (s *Simulation) runSteps(n int) {
 	if n <= 0 {
 		return
@@ -491,8 +608,20 @@ func (s *Simulation) runSteps(n int) {
 		s.eng.run(n)
 		return
 	}
+	if s.rec != nil {
+		defer func() {
+			if p := recover(); p != nil {
+				var herr *telemetry.HealthError
+				if s.watchdog != nil {
+					errors.As(s.watchdog.Err(), &herr)
+				}
+				s.rec.WriteBundle("panic", herr) //nolint:errcheck // already panicking
+				panic(p)
+			}
+		}()
+	}
 	nodes := float64(s.cfg.NX) * float64(s.cfg.NY) * float64(s.cfg.NZ)
-	if s.logger == nil && s.watchdog == nil {
+	if s.logger == nil && s.watchdog == nil && s.rec == nil {
 		t0 := time.Now()
 		s.eng.run(n)
 		s.recordBatch(n, nodes, time.Since(t0))
@@ -508,21 +637,73 @@ func (s *Simulation) runSteps(n int) {
 		s.recordBatch(1, nodes, elapsed)
 
 		step := s.StepCount()
-		g := s.eng.snapshot()
-		if s.watchdog != nil {
-			s.watchdog.Check(step, g) //nolint:errcheck // latched; exposed via Health
+		mlups := 0.0
+		if elapsed > 0 {
+			mlups = nodes / elapsed.Seconds() / 1e6
 		}
-		if s.logger != nil {
-			mlups := 0.0
-			if elapsed > 0 {
-				mlups = nodes / elapsed.Seconds() / 1e6
+
+		// Physics sampling: with a recorder, one digest pass feeds the
+		// watchdog, the steplog and the ring together (the cube engines
+		// digest their layout in place, skipping the slab materialization
+		// a snapshot would cost); without one, the original snapshot path
+		// runs unchanged.
+		var herr *telemetry.HealthError
+		var mass, maxVel float64
+		if s.rec != nil {
+			needDigest := s.watchdog != nil || s.logger != nil || s.rec.WantDigest(step)
+			var dig *grid.DigestGrid
+			if needDigest {
+				var err error
+				if dig, err = s.rec.Scratch(s.cfg.NX, s.cfg.NY, s.cfg.NZ); err == nil {
+					err = s.eng.digest(dig)
+				}
+				if err != nil {
+					dig = nil // digest failure must not kill the run
+				}
 			}
+			if dig != nil {
+				mass, maxVel = dig.Mass, dig.MaxVel
+				if s.watchdog != nil {
+					if err := s.watchdog.CheckDigest(step, dig); err != nil {
+						errors.As(err, &herr)
+					}
+				}
+				if s.rec.WantDigest(step) {
+					s.rec.RecordDigest(step, dig)
+				}
+			}
+			bs, ls := 0.0, 0.0
+			if st, ok := s.ContentionStats(); ok {
+				bs, ls = st.BarrierWaitShare, st.LockWaitShare
+			}
+			s.rec.RecordStep(step, elapsed, mlups, bs, ls)
+			healthy := s.watchdog == nil || s.watchdog.Healthy()
+			if healthy && s.rec.WantSnapshot(step) {
+				s.rec.TakeSnapshot(step, s.Checkpoint) //nolint:errcheck // best-effort; last good snapshot is kept
+			}
+			if herr != nil {
+				s.rec.WriteBundle("watchdog", herr) //nolint:errcheck // latched error is still exposed via Health
+			}
+		} else {
+			g := s.eng.snapshot()
+			if s.watchdog != nil {
+				if err := s.watchdog.Check(step, g); err != nil {
+					errors.As(err, &herr)
+				}
+			}
+			if s.logger != nil {
+				mass, maxVel = g.TotalMass(), g.MaxVelocity()
+			}
+		}
+
+		if s.logger != nil {
 			rec := telemetry.StepRecord{
 				Step:         step,
-				Mass:         g.TotalMass(),
-				MaxVel:       g.MaxVelocity(),
+				Mass:         mass,
+				MaxVel:       maxVel,
 				KernelMillis: float64(elapsed.Microseconds()) / 1e3,
 				MLUPS:        mlups,
+				Unhealthy:    telemetry.NewUnhealthyRecord(herr),
 			}
 			if st, ok := s.ContentionStats(); ok {
 				rec.Imbalance = st.ImbalanceRatio
@@ -532,6 +713,24 @@ func (s *Simulation) runSteps(n int) {
 			s.logger.Log(rec) //nolint:errcheck // logging is best-effort
 		}
 	}
+}
+
+// FlightRecorder returns the configured flight recorder, or nil.
+func (s *Simulation) FlightRecorder() *flightrec.Recorder { return s.rec }
+
+// WritePostMortem writes a post-mortem bundle on demand (reason
+// "manual" for operator-initiated dumps, "crosscheck" when a
+// differential harness caught a divergence). It requires Config.FlightRec
+// with a Dir, and embeds the watchdog's latched error if any.
+func (s *Simulation) WritePostMortem(reason string) (string, error) {
+	if s.rec == nil {
+		return "", fmt.Errorf("lbmib: post-mortem requires Config.FlightRec")
+	}
+	var herr *telemetry.HealthError
+	if s.watchdog != nil {
+		errors.As(s.watchdog.Err(), &herr)
+	}
+	return s.rec.WriteBundle(reason, herr)
 }
 
 // recordBatch updates the registry metrics for n steps that took
@@ -832,8 +1031,9 @@ func (e *seqEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *seqEngine) close()                {}
-func (e *seqEngine) observe(si *stepInstr) { e.s.Observer = si }
+func (e *seqEngine) digest(d *grid.DigestGrid) error { return e.s.Fluid.Digest(d) }
+func (e *seqEngine) close()                          {}
+func (e *seqEngine) observe(si *stepInstr)           { e.s.Observer = si }
 func (e *seqEngine) load(g *grid.Grid) error {
 	copy(e.s.Fluid.Nodes, g.Nodes)
 	return nil
@@ -856,7 +1056,11 @@ func (e *ompEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *ompEngine) close() { e.s.Close() }
+
+// digest reads the present buffer in place — unlike snapshot it needs
+// no Normalize, so the watchdog/steplog pass leaves the grid untouched.
+func (e *ompEngine) digest(d *grid.DigestGrid) error { return e.s.Fluid.Digest(d) }
+func (e *ompEngine) close()                          { e.s.Close() }
 func (e *ompEngine) observe(si *stepInstr) {
 	e.s.Observer = si
 	if si.regionProf != nil {
@@ -889,7 +1093,11 @@ func (e *cubeEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *cubeEngine) close() { e.s.Close() }
+
+// digest walks the cube layout in place, avoiding the full-grid
+// materialization that snapshot's ToGrid would allocate every step.
+func (e *cubeEngine) digest(d *grid.DigestGrid) error { return e.s.Fluid.Digest(d) }
+func (e *cubeEngine) close()                          { e.s.Close() }
 func (e *cubeEngine) observe(si *stepInstr) {
 	e.s.Observer = si
 	if si.cont != nil {
@@ -922,7 +1130,8 @@ func (e *taskflowEngine) densityAt(x, y, z int) float64 {
 	x, y, z = e.s.Fluid.Wrap(x, y, z)
 	return e.s.Fluid.At(x, y, z).Rho
 }
-func (e *taskflowEngine) close() {}
+func (e *taskflowEngine) digest(d *grid.DigestGrid) error { return e.s.Fluid.Digest(d) }
+func (e *taskflowEngine) close()                          {}
 
 // observe attaches the per-phase observer: each worker reports every
 // task body it executes (phases interleave across steps, so the step

@@ -28,7 +28,7 @@ go vet -stdmethods=false ./...
 scripts/lint ./...
 go test -run 'TestAnalyzersGoldenCorpus|TestLintSelfHost' ./internal/analysis/
 
-go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/... ./internal/perfmon/... ./internal/par/...
+go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/... ./internal/perfmon/... ./internal/par/... ./internal/flightrec/...
 
 # Cross-engine differential smoke: 10 seeded cases on every engine.
 go run ./cmd/lbmib-crosscheck -seeds 10
@@ -45,4 +45,24 @@ go test -run '^$' -fuzz '^FuzzLintParse$' -fuzztime 5s ./internal/analysis/
 # the structural/schema checks do fail the script).
 go run ./cmd/lbmib-bench -exp imbalance -out BENCH_smoke.json
 scripts/bench_compare BENCH_baseline.json BENCH_smoke.json
+rm -f BENCH_smoke.json
+
+# Flight-recorder forensics smoke: a run driven far past the lattice's
+# stability envelope must trip the watchdog, leave a post-mortem bundle,
+# and lbmib-postmortem must decode it.
+FRDIR=$(mktemp -d)
+if go run ./cmd/lbmib-sim -solver cube -threads 2 -nx 16 -ny 16 -nz 16 \
+	-steps 60 -sheet "" -force 0.05 -flightrec "$FRDIR"; then
+	echo "unstable run should have tripped the watchdog" >&2
+	rm -rf "$FRDIR"
+	exit 1
+fi
+test -f "$FRDIR/manifest.json"
+go run ./cmd/lbmib-postmortem -ring 5 "$FRDIR"
+rm -rf "$FRDIR"
+
+# Flight-recorder overhead tripwire: fresh measurement against the
+# committed recorder-on/off baseline (warn-only, like the one above).
+go run ./cmd/lbmib-bench -exp flightrec -out BENCH_smoke.json
+scripts/bench_compare BENCH_pr6.json BENCH_smoke.json
 rm -f BENCH_smoke.json
