@@ -50,6 +50,9 @@ func main() {
 	}
 
 	warns := experiments.CompareBench(base, cur, tol)
+	// Spreading benchmarks also carry internal invariants (lock-free rows
+	// must be lock-event-free and no slower than their locked foils).
+	warns = append(warns, experiments.SpreadingInvariants(cur)...)
 	if len(warns) == 0 {
 		fmt.Printf("ok: %s vs %s within tolerance (%d engines, kind %q)\n",
 			flag.Arg(0), flag.Arg(1), len(cur.Results), cur.Kind)

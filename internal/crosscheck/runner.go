@@ -21,23 +21,36 @@ import (
 // internal-only and driven directly.
 type Engine string
 
-// The engines the Runner exercises.
+// The engines the Runner exercises. The -locked variants run the omp and
+// cube engines with Config.LockedSpread — the per-owner-lock spreading
+// ablation — so the retained locked path keeps differential coverage
+// against the sequential reference after the lock-free default landed.
 const (
 	EngineSequential Engine = "sequential"
 	EngineOMP        Engine = "omp"
 	EngineCube       Engine = "cube"
 	EngineTaskflow   Engine = "taskflow"
 	EngineSoA        Engine = "soa"
+	EngineOMPLocked  Engine = "omp-locked"
+	EngineCubeLocked Engine = "cube-locked"
 )
 
 // Engines returns the engines applicable to the case. The cube-layout
 // engines require every grid edge to be divisible by the cube size; for
 // indivisible shapes the Runner instead asserts that they reject the
-// configuration.
+// configuration. The locked-spreading ablations run only when the case
+// has an immersed structure — without one the spread path is never taken
+// and they would duplicate the base engines exactly.
 func Engines(c Case) []Engine {
 	es := []Engine{EngineSequential, EngineOMP, EngineSoA}
+	if len(c.Config.Sheets) > 0 {
+		es = append(es, EngineOMPLocked)
+	}
 	if CubeDivisible(c) {
 		es = append(es, EngineCube, EngineTaskflow)
+		if len(c.Config.Sheets) > 0 {
+			es = append(es, EngineCubeLocked)
+		}
 	}
 	return es
 }
@@ -47,12 +60,14 @@ func Engines(c Case) []Engine {
 // equivalence contract. Sequential and SoA execute one thread in program
 // order; taskflow spreads fiber forces as a single task and all cube
 // tasks write disjoint data, so it is bitwise at any worker count. The
-// omp and cube engines accumulate spread forces from concurrent threads
-// under locks, so with an immersed structure and more than one thread
-// their accumulation order — and hence the low-order bits — varies.
+// omp and cube engines order multi-threaded spread sums differently from
+// the sequential reference — under locks the order also varies run to
+// run; the lock-free reduction is reproducible but still grouped per
+// thread — so with an immersed structure and more than one thread their
+// low-order bits differ from the reference either way.
 func Deterministic(e Engine, c Case) bool {
 	switch e {
-	case EngineOMP, EngineCube:
+	case EngineOMP, EngineCube, EngineOMPLocked, EngineCubeLocked:
 		return c.Config.Threads == 1 || len(c.Config.Sheets) == 0
 	default:
 		return true
@@ -198,15 +213,20 @@ func buildSheets(cfg lbmib.Config) []*fiber.Sheet {
 // solverKind maps a facade engine name to its SolverKind.
 func solverKind(e Engine) lbmib.SolverKind {
 	switch e {
-	case EngineOMP:
+	case EngineOMP, EngineOMPLocked:
 		return lbmib.OpenMP
-	case EngineCube:
+	case EngineCube, EngineCubeLocked:
 		return lbmib.CubeBased
 	case EngineTaskflow:
 		return lbmib.TaskScheduled
 	default:
 		return lbmib.Sequential
 	}
+}
+
+// lockedSpread reports whether engine e is a locked-spreading ablation.
+func lockedSpread(e Engine) bool {
+	return e == EngineOMPLocked || e == EngineCubeLocked
 }
 
 // newEngine instantiates engine e for the case. Facade engines carry a
@@ -230,6 +250,7 @@ func (r *Runner) newEngine(c Case, e Engine) (engineRun, error) {
 	}
 	cfg := c.Config
 	cfg.Solver = solverKind(e)
+	cfg.LockedSpread = lockedSpread(e)
 	if r.FlightRecDir != "" {
 		cfg.FlightRec = &flightrec.Config{
 			Dir: filepath.Join(r.FlightRecDir, fmt.Sprintf("seed%d-%s", c.Seed, e)),
@@ -448,6 +469,7 @@ func (r *Runner) roundTrip(c Case, e Engine) string {
 
 	cfg := c.Config
 	cfg.Solver = solverKind(e)
+	cfg.LockedSpread = lockedSpread(e)
 	restored, err := lbmib.Restore(bytes.NewReader(buf.Bytes()), cfg)
 	if err != nil {
 		return fmt.Sprintf("round-trip %s: restore: %v", e, err)

@@ -6,19 +6,29 @@
 // logical thread mesh; fibers are mapped with fiber2thread. Every worker
 // executes the whole time-step loop over the full cube/fiber index space,
 // computing only the cubes and fibers it owns, and synchronizes with a
-// small number of global barriers. Cross-thread force spreading is
-// protected by one private lock per owner thread, exactly as the paper
-// prescribes ("a cube will be protected by its owner thread's private
-// lock").
+// small number of global barriers.
+//
+// Cross-thread force spreading is lock-free by default: each worker
+// accumulates contributions to cubes it does not own into a private,
+// sparse per-cube buffer (contributions to its own cubes go straight to
+// the grid), and after the spread barrier every owner folds the workers'
+// buffers into its own cubes in ascending thread order — a deterministic
+// owner-partitioned reduction, so results are reproducible run-to-run at
+// a fixed thread count (see DESIGN.md §13). The paper's scheme — one
+// private lock per owner thread, "a cube will be protected by its owner
+// thread's private lock" — is kept behind Config.LockedSpread as the
+// contention ablation and equivalence foil.
 //
 // Deviation from the published pseudocode, documented in DESIGN.md: the
 // paper's Algorithm 4 shows three barriers per step (after loops 2, 3 and
 // 5) but no barrier between the fiber loop (kernels 1–4) and the fluid
 // loop (kernels 5–6). Kernel 5 reads the elastic force that loop 1 spreads
-// into cubes owned by other threads, so a fourth barrier after loop 1 is
-// required for a correct execution; this implementation inserts it. The
-// BarrierPerKernel schedule (one barrier after every loop, as a naive
-// port would do) is kept as an ablation.
+// toward cubes owned by other threads, so a fourth barrier after loop 1 is
+// required for a correct execution; this implementation inserts it — but
+// only when it orders anything: fluid-only and single-thread runs skip it,
+// restoring the paper's three-barrier schedule. The BarrierPerKernel
+// schedule (one barrier after every loop, as a naive port would do) is
+// kept as an ablation and always synchronizes after the spread.
 package cubesolver
 
 import (
@@ -103,6 +113,13 @@ type Config struct {
 	// loop) instead of the O(1) buffer swap — kept for the copy-vs-swap
 	// ablation; results are bitwise identical either way.
 	LegacyCopy bool
+	// LockedSpread restores the paper's per-owner-thread spreading locks
+	// instead of the default lock-free per-thread accumulation + reduction
+	// — kept for the contention ablation and as the crosscheck foil. Both
+	// paths match the sequential reference within the validation tolerance;
+	// only the lock-free path is deterministic run-to-run at a fixed
+	// thread count.
+	LockedSpread bool
 }
 
 // Solver is the cube-centric parallel LBM-IB solver.
@@ -119,6 +136,9 @@ type Solver struct {
 	FiberDist   par.Dist
 	Barriers    BarrierSchedule
 	LegacyCopy  bool
+	// LockedSpread selects the per-owner-lock spreading path (see
+	// Config.LockedSpread); the default is the lock-free reduction.
+	LockedSpread bool
 
 	Observer PhaseObserver
 
@@ -137,7 +157,8 @@ type Solver struct {
 	team         *par.Team
 	barrier      *par.Barrier
 	timedBarrier par.TimedBarrier // wraps barrier; used only with Contention set
-	ownerLocks   []sync.Mutex     // one private lock per thread
+	ownerLocks   []sync.Mutex     // one private lock per thread (LockedSpread path)
+	accums       []*spreadAccum   // per-thread spread buffers (lock-free path); nil with LockedSpread
 	step         int
 
 	// streamDelta[i] is the in-cube flat offset of the e_i neighbor for
@@ -146,6 +167,8 @@ type Solver struct {
 }
 
 // NewSolver builds the solver, the thread mesh, and the data distribution.
+// A Threads count the cube mesh cannot feed is clamped down (see
+// effectiveThreads): every worker in the team owns at least one cube.
 func NewSolver(cfg Config) (*Solver, error) {
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
@@ -157,6 +180,7 @@ func NewSolver(cfg Config) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Threads = effectiveThreads(cfg.Threads, layout, cfg.Dist, cfg.BlockSize)
 	if cfg.Tau == 0 { //lint:allow floatcheck -- Tau==0 is the documented "unset" sentinel; real values are vetted by ValidateTau
 		cfg.Tau = 0.6
 	}
@@ -176,9 +200,10 @@ func NewSolver(cfg Config) (*Solver, error) {
 			CX: layout.CX, CY: layout.CY, CZ: layout.CZ,
 			Mesh: par.NewMesh(cfg.Threads), Dist: cfg.Dist, BlockSize: cfg.BlockSize,
 		},
-		FiberDist:  cfg.Dist,
-		Barriers:   cfg.Barriers,
-		LegacyCopy: cfg.LegacyCopy,
+		FiberDist:    cfg.Dist,
+		Barriers:     cfg.Barriers,
+		LegacyCopy:   cfg.LegacyCopy,
+		LockedSpread: cfg.LockedSpread,
 		bc: core.StreamBC{
 			NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ,
 			BCX: cfg.BCX, BCY: cfg.BCY, BCZ: cfg.BCZ,
@@ -189,6 +214,13 @@ func NewSolver(cfg Config) (*Solver, error) {
 		ownerLocks: make([]sync.Mutex, cfg.Threads),
 	}
 	s.timedBarrier = par.TimedBarrier{B: s.barrier, Rec: s.recordBarrierWait}
+	if !cfg.LockedSpread {
+		nc := layout.CX * layout.CY * layout.CZ
+		s.accums = make([]*spreadAccum, cfg.Threads)
+		for i := range s.accums {
+			s.accums[i] = newSpreadAccum(nc)
+		}
+	}
 	for i := 0; i < lattice.Q; i++ {
 		k := layout.K
 		s.streamDelta[i] = (lattice.E[i][0]*k+lattice.E[i][1])*k + lattice.E[i][2]
@@ -198,6 +230,37 @@ func NewSolver(cfg Config) (*Solver, error) {
 	// maintain it.
 	s.SeedForce()
 	return s, nil
+}
+
+// effectiveThreads clamps a requested worker count so that every worker
+// owns at least one cube under the resulting P×Q×R mesh and distribution.
+// Requesting more workers than cubes — or a mesh whose axis factors
+// strand a mesh coordinate with an empty axis range — used to produce
+// idle workers that still participated in every barrier, skewing the
+// imbalance attribution toward the phantom threads. The largest count
+// (≤ requested) whose distribution leaves no thread empty is used.
+func effectiveThreads(requested int, layout *cube.Layout, d par.Dist, blockSize int) int {
+	t := requested
+	if n := layout.CX * layout.CY * layout.CZ; t > n {
+		t = n
+	}
+	for ; t > 1; t-- {
+		m := par.CubeMap{
+			CX: layout.CX, CY: layout.CY, CZ: layout.CZ,
+			Mesh: par.NewMesh(t), Dist: d, BlockSize: blockSize,
+		}
+		empty := false
+		for _, c := range m.Counts() {
+			if c == 0 {
+				empty = true
+				break
+			}
+		}
+		if !empty {
+			break
+		}
+	}
+	return t
 }
 
 // SeedForce initializes every node's force to the uniform body force —
@@ -259,13 +322,24 @@ func (s *Solver) timeStep(step, tid int) {
 		s.Observer.PhaseDone(step, tid, p, time.Since(t0))
 	}
 	perKernel := s.Barriers == BarrierPerKernel
+	// gen stamps this step's spread accumulation; generations are never
+	// reused, which is what lets the lock-free buffers skip zeroing.
+	gen := step + 1
 
 	// 1st loop: kernels 1–4 on owned fibers.
-	phase(PhaseFibersForce, func() { s.fiberForceLoop(tid) })
-	s.waitBarrier(SiteAfterSpread, tid) // spread → collision dependency (see package comment)
+	phase(PhaseFibersForce, func() { s.fiberForceLoop(tid, gen) })
+	// Spread → collision dependency (see package comment). The minimal
+	// schedule folds this barrier away when it orders nothing: without
+	// fibers no forces are spread, and a single worker spreads and
+	// collides in program order. The condition is thread-invariant, so
+	// every worker takes the same branch.
+	if perKernel || s.spreadBarrierNeeded() {
+		s.waitBarrier(SiteAfterSpread, tid)
+	}
 
-	// 2nd loop: kernels 5–6 on owned cubes.
-	phase(PhaseCollideStream, func() { s.collideStreamLoop(tid, perKernel) })
+	// 2nd loop: kernels 5–6 on owned cubes (the lock-free path first folds
+	// the workers' spread buffers into each owned cube).
+	phase(PhaseCollideStream, func() { s.collideStreamLoop(tid, perKernel, gen) })
 	s.waitBarrier(SiteAfterStream, tid) // streaming → velocity-update dependency (paper's 1st barrier)
 
 	// 3rd loop: kernel 7 on owned cubes.
@@ -298,10 +372,16 @@ func (c Config) allSheets() []*fiber.Sheet {
 }
 
 // fiberForceLoop runs kernels 1–4 for every fiber owned by tid; fibers
-// are indexed globally across the structure's sheets.
-func (s *Solver) fiberForceLoop(tid int) {
+// are indexed globally across the structure's sheets. Spreading goes
+// through the worker's private accumulation buffer (lock-free default)
+// or the per-owner locks (LockedSpread); gen stamps this step's buffers.
+func (s *Solver) fiberForceLoop(tid, gen int) {
 	total := fiber.TotalFibers(s.Sheets)
 	n := s.team.Size()
+	var acc *accumWriter
+	if s.accums != nil {
+		acc = &accumWriter{s: s, acc: s.accums[tid], tid: tid, gen: gen}
+	}
 	for g := 0; g < total; g++ {
 		if par.FiberToThread(g, total, n, s.FiberDist) != tid {
 			continue
@@ -312,6 +392,12 @@ func (s *Solver) fiberForceLoop(tid int) {
 		sh.ComputeBendingForce(lo, hi)
 		sh.ComputeStretchingForce(lo, hi)
 		sh.ComputeElasticForce(lo, hi)
+		if acc != nil {
+			for i := lo; i < hi; i++ {
+				ibm.Spread(acc, sh.X[i], sh.Force[i], area)
+			}
+			continue
+		}
 		for i := lo; i < hi; i++ {
 			s.spreadLocked(tid, sh.X[i], sh.Force[i], area)
 		}
@@ -323,12 +409,16 @@ func (s *Solver) fiberForceLoop(tid int) {
 // each target cube is held while its nodes are updated. Only one lock is
 // held at a time, so the scheme cannot deadlock; consecutive targets that
 // share an owner reuse the held lock. tid is the spreading thread, used
-// only for lock-wait attribution.
+// only for lock-wait attribution; owners already locked once within this
+// stencil report their return legs as re-acquisitions (the A→B→A walk),
+// keeping fresh-acquisition rates honest.
 func (s *Solver) spreadLocked(tid int, x [3]float64, F [3]float64, area float64) {
 	var st ibm.Stencil
 	st.Compute(x)
 	l := s.Fluid
 	held := -1
+	var seenBuf [8]int // a 4-wide window crosses each cube axis at most once for k ≥ 4
+	seen := seenBuf[:0]
 	for i := 0; i < ibm.SupportWidth; i++ {
 		wx := st.Wx[i]
 		if wx == 0 { //lint:allow floatcheck -- exact-zero delta-function weight: product is exactly 0, skip is lossless
@@ -350,7 +440,17 @@ func (s *Solver) spreadLocked(tid int, x [3]float64, F [3]float64, area float64)
 					if held >= 0 {
 						s.ownerLocks[held].Unlock()
 					}
-					s.lockOwner(tid, owner)
+					reacquire := false
+					for _, o := range seen {
+						if o == owner {
+							reacquire = true
+							break
+						}
+					}
+					if !reacquire {
+						seen = append(seen, owner)
+					}
+					s.lockOwner(tid, owner, reacquire)
 					held = owner
 				}
 				n := &l.Nodes[l.Idx(gx, gy, gz)]
@@ -368,15 +468,29 @@ func (s *Solver) spreadLocked(tid int, x [3]float64, F [3]float64, area float64)
 // collideStreamLoop runs kernels 5 and 6 over the cubes owned by tid. With
 // the per-kernel barrier schedule, collision over all owned cubes
 // completes (and a barrier passes) before streaming starts; the minimal
-// schedule fuses them per cube as in Algorithm 4.
-func (s *Solver) collideStreamLoop(tid int, perKernel bool) {
+// schedule fuses them per cube as in Algorithm 4. On the lock-free path
+// each owned cube's spread reduction runs immediately before its
+// collision — the owner is the only thread touching the cube here, so the
+// reduction needs no synchronization beyond the spread barrier already
+// passed, and the cube's nodes are hot in cache for the collision that
+// follows.
+func (s *Solver) collideStreamLoop(tid int, perKernel bool, gen int) {
+	reduce := s.accums != nil && fiber.TotalFibers(s.Sheets) > 0
 	if perKernel {
-		s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) { s.collideCube(c) })
+		s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) {
+			if reduce {
+				s.reduceSpreadCube(c, gen)
+			}
+			s.collideCube(c)
+		})
 		s.waitBarrier(SiteAfterCollide, tid)
 		s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) { s.streamCube(c) })
 		return
 	}
 	s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) {
+		if reduce {
+			s.reduceSpreadCube(c, gen)
+		}
 		s.collideCube(c)
 		s.streamCube(c)
 	})

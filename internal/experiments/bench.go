@@ -150,3 +150,35 @@ func CompareBench(base, cur BenchFile, tol BenchTolerance) []string {
 	}
 	return warns
 }
+
+// SpreadingInvariants checks the internal invariants of a "spreading"
+// benchmark (see experiments.Spreading): lock-free rows must record zero
+// lock events — any acquisition there means the lock path leaked back in
+// — and should not be slower than their locked counterparts. Violations
+// are warnings, not errors: the throughput leg is noisy on shared
+// machines, and the comparator is a tripwire, not a gate.
+func SpreadingInvariants(b BenchFile) []string {
+	if b.Kind != "spreading" {
+		return nil
+	}
+	var warns []string
+	rows := map[string]ImbalanceRow{}
+	for _, r := range b.Results {
+		rows[r.Engine] = r
+	}
+	for _, eng := range []string{"cube", "omp"} {
+		lf, okF := rows[eng+"-lockfree"]
+		lk, okL := rows[eng+"-locked"]
+		if okF && (lf.TotalAcquires != 0 || lf.LockWaitShare != 0) { //lint:allow floatcheck -- the lock-free path must be identically zero, not merely small
+			warns = append(warns, fmt.Sprintf(
+				"%s-lockfree: lock events on the lock-free path (%d acquires, lock-wait share %.4f)",
+				eng, lf.TotalAcquires, lf.LockWaitShare))
+		}
+		if okF && okL && lk.MLUPS > 0 && lf.MLUPS < lk.MLUPS {
+			warns = append(warns, fmt.Sprintf(
+				"%s: lock-free run slower than locked (%.2f vs %.2f MLUPS)",
+				eng, lf.MLUPS, lk.MLUPS))
+		}
+	}
+	return warns
+}

@@ -105,3 +105,74 @@ func TestCompareBench(t *testing.T) {
 		t.Fatalf("want kind warning, got %v", warns)
 	}
 }
+
+func sampleSpreadingBench() BenchFile {
+	return BenchFile{
+		Schema: BenchSchema, Kind: "spreading",
+		Grid: [3]int{32, 32, 32}, CubeSize: 4, Threads: 4, Steps: 10, FiberNodes: 338,
+		Results: []ImbalanceRow{
+			{Engine: "cube-locked", Threads: 4, MLUPS: 2.5, LockWaitShare: 0.005, ContendedAcquires: 12, TotalAcquires: 9000},
+			{Engine: "cube-lockfree", Threads: 4, MLUPS: 2.7},
+			{Engine: "omp-locked", Threads: 4, MLUPS: 3.5, LockWaitShare: 0.003, ContendedAcquires: 3, TotalAcquires: 1400},
+			{Engine: "omp-lockfree", Threads: 4, MLUPS: 3.7},
+		},
+	}
+}
+
+func TestSpreadingInvariants(t *testing.T) {
+	if warns := SpreadingInvariants(sampleSpreadingBench()); len(warns) != 0 {
+		t.Fatalf("clean spreading file warned: %v", warns)
+	}
+	// Other kinds are out of scope.
+	if warns := SpreadingInvariants(sampleBench()); len(warns) != 0 {
+		t.Fatalf("imbalance file triggered spreading invariants: %v", warns)
+	}
+
+	// Lock events on a lock-free row.
+	bad := sampleSpreadingBench()
+	bad.Results[1].TotalAcquires = 5
+	warns := SpreadingInvariants(bad)
+	if len(warns) != 1 || !strings.Contains(warns[0], "cube-lockfree") {
+		t.Fatalf("want cube-lockfree lock-event warning, got %v", warns)
+	}
+
+	// Lock-free slower than locked.
+	bad = sampleSpreadingBench()
+	bad.Results[3].MLUPS = bad.Results[2].MLUPS / 2
+	warns = SpreadingInvariants(bad)
+	if len(warns) != 1 || !strings.Contains(warns[0], "slower than locked") {
+		t.Fatalf("want slower-than-locked warning, got %v", warns)
+	}
+}
+
+// A short real run of the spreading experiment: four rows, locked rows
+// with lock traffic, lock-free rows with none, and a persistable file.
+func TestSpreadingExperiment(t *testing.T) {
+	r, err := Spreading(Options{Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(r.Rows), r.Rows)
+	}
+	for _, row := range r.Rows {
+		locked := strings.HasSuffix(row.Engine, "-locked")
+		if locked && row.TotalAcquires == 0 {
+			t.Errorf("%s: no lock acquisitions on the locked path", row.Engine)
+		}
+		if !locked && (row.TotalAcquires != 0 || row.LockWaitShare != 0) { //lint:allow floatcheck -- must be identically zero
+			t.Errorf("%s: lock events on the lock-free path: %d acquires, share %v",
+				row.Engine, row.TotalAcquires, row.LockWaitShare)
+		}
+	}
+	b := BenchFromSpreading(r)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("spreading bench does not validate: %v", err)
+	}
+	if warns := SpreadingInvariants(b); len(warns) != 0 {
+		t.Logf("spreading invariants warned (timing noise tolerated in tests): %v", warns)
+	}
+	if !strings.Contains(r.Render(), "cube-lockfree") {
+		t.Fatal("render missing cube-lockfree row")
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/cubesolver"
+	"lbmib/internal/omp"
+	"lbmib/internal/par"
+	"lbmib/internal/perfmon"
+)
+
+// SpreadingResult is the locked-vs-lock-free force-spreading comparison:
+// both lockable engines run the same two-sheet contention problem twice —
+// once with the paper's per-owner/per-plane spreading locks
+// (Config.LockedSpread) and once with the default per-thread accumulation
+// + owner-partitioned reduction — under the wait-attribution profiles.
+type SpreadingResult struct {
+	NX, NY, NZ int
+	CubeSize   int
+	Threads    int
+	Steps      int
+	FiberNodes int
+	Rows       []ImbalanceRow
+}
+
+// BenchFromSpreading packages a spreading comparison for persistence.
+func BenchFromSpreading(r SpreadingResult) BenchFile {
+	return BenchFile{
+		Schema: BenchSchema, Kind: "spreading",
+		Grid: [3]int{r.NX, r.NY, r.NZ}, CubeSize: r.CubeSize,
+		Threads: r.Threads, Steps: r.Steps, FiberNodes: r.FiberNodes,
+		Results: r.Rows,
+	}
+}
+
+// Spreading measures the tentpole trade: the locked rows should show
+// nonzero lock-wait share and acquisition counts, the lock-free rows
+// identically zero locks (any lock event on a -lockfree row is a
+// regression), with step time no worse. Each row reuses the imbalance
+// schema so the persisted baseline rides the same comparator.
+func Spreading(opt Options) (SpreadingResult, error) {
+	nx, ny, nz, steps, threads := opt.imbalanceGrid()
+	nodes := float64(nx) * float64(ny) * float64(nz)
+
+	if prev := runtime.GOMAXPROCS(0); prev < threads {
+		runtime.GOMAXPROCS(threads)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	res := SpreadingResult{
+		NX: nx, NY: ny, NZ: nz, CubeSize: 4, Threads: threads, Steps: steps,
+	}
+	for _, sh := range opt.twoSheets(nx, ny, nz) {
+		res.FiberNodes += sh.NumNodes()
+	}
+
+	for _, locked := range []bool{true, false} {
+		variant := "lockfree"
+		if locked {
+			variant = "locked"
+		}
+
+		// --- cube-based engine ---
+		{
+			s, err := cubesolver.NewSolver(cubesolver.Config{
+				NX: nx, NY: ny, NZ: nz, CubeSize: res.CubeSize, Threads: threads, Tau: 0.7,
+				BodyForce:    [3]float64{2e-5, 0, 0},
+				Sheets:       opt.twoSheets(nx, ny, nz),
+				Dist:         par.Block,
+				LockedSpread: locked,
+			})
+			if err != nil {
+				return res, fmt.Errorf("cube-%s: %w", variant, err)
+			}
+			phases := perfmon.NewPhaseProfile(threads)
+			cont := perfmon.NewContentionProfile(threads, threads)
+			s.Observer = phases
+			s.Contention = cont
+			t0 := time.Now()
+			s.Run(steps)
+			wall := time.Since(t0)
+			s.Close()
+
+			threadTime := float64(threads) * wall.Seconds()
+			res.Rows = append(res.Rows, ImbalanceRow{
+				Engine: "cube-" + variant, Threads: threads,
+				Millis:            float64(wall.Milliseconds()),
+				MLUPS:             nodes * float64(steps) / wall.Seconds() / 1e6,
+				ImbalanceRatio:    phases.ImbalanceRatio(),
+				BarrierWaitShare:  cont.BarrierWaitTotal().Seconds() / threadTime,
+				LockWaitShare:     cont.LockWaitTotal().Seconds() / threadTime,
+				ContendedAcquires: cont.ContendedAcquires(),
+				TotalAcquires:     cont.TotalAcquires(),
+			})
+		}
+
+		// --- OpenMP-style engine ---
+		{
+			s, err := omp.NewSolver(omp.Config{
+				Config: core.Config{
+					NX: nx, NY: ny, NZ: nz, Tau: 0.7,
+					BodyForce: [3]float64{2e-5, 0, 0},
+					Sheets:    opt.twoSheets(nx, ny, nz),
+				},
+				Threads:      threads,
+				LockedSpread: locked,
+			})
+			if err != nil {
+				return res, fmt.Errorf("omp-%s: %w", variant, err)
+			}
+			regions := perfmon.NewRegionProfile(threads)
+			locks := perfmon.NewContentionProfile(threads, nx) // owner = x-plane
+			s.Regions = regions
+			s.Locks = locks
+			t0 := time.Now()
+			s.Run(steps)
+			wall := time.Since(t0)
+			s.Close()
+
+			res.Rows = append(res.Rows, ImbalanceRow{
+				Engine: "omp-" + variant, Threads: threads,
+				Millis:            float64(wall.Milliseconds()),
+				MLUPS:             nodes * float64(steps) / wall.Seconds() / 1e6,
+				ImbalanceRatio:    regions.ImbalanceRatio(),
+				BarrierWaitShare:  regions.BarrierWaitShare(),
+				LockWaitShare:     locks.LockWaitTotal().Seconds() / (float64(threads) * wall.Seconds()),
+				ContendedAcquires: locks.ContendedAcquires(),
+				TotalAcquires:     locks.TotalAcquires(),
+			})
+		}
+	}
+
+	return res, nil
+}
+
+// Render formats the spreading comparison.
+func (r SpreadingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Force spreading: locked vs lock-free (%d×%d×%d fluid, k=%d, %d fiber nodes, %d threads, %d steps)\n",
+		r.NX, r.NY, r.NZ, r.CubeSize, r.FiberNodes, r.Threads, r.Steps)
+	b.WriteString(header(fmt.Sprintf("%-13s", "Engine"), "  MLUPS", "  ms/run", "lock-wait%", "contended/acquires"))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-13s  %6.2f  %8.1f  %9.3f%%  %10d/%d\n",
+			row.Engine, row.MLUPS, row.Millis,
+			100*row.LockWaitShare, row.ContendedAcquires, row.TotalAcquires)
+	}
+	return b.String()
+}

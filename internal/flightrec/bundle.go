@@ -42,19 +42,22 @@ type SheetSpec struct {
 // lbmib-postmortem needs to rebuild an equivalent lbmib.Config and
 // Restore the bundled checkpoint into it.
 type RunSpec struct {
-	NX          int         `json:"nx"`
-	NY          int         `json:"ny"`
-	NZ          int         `json:"nz"`
-	Tau         float64     `json:"tau"`
-	BodyForce   [3]float64  `json:"bodyForce"`
-	BoundaryX   string      `json:"boundaryX"` // "periodic" | "noslip"
-	BoundaryY   string      `json:"boundaryY"`
-	BoundaryZ   string      `json:"boundaryZ"`
-	LidVelocity [3]float64  `json:"lidVelocity"`
-	Solver      string      `json:"solver"`
-	Threads     int         `json:"threads"`
-	CubeSize    int         `json:"cubeSize,omitempty"`
-	Sheets      []SheetSpec `json:"sheets,omitempty"`
+	NX          int        `json:"nx"`
+	NY          int        `json:"ny"`
+	NZ          int        `json:"nz"`
+	Tau         float64    `json:"tau"`
+	BodyForce   [3]float64 `json:"bodyForce"`
+	BoundaryX   string     `json:"boundaryX"` // "periodic" | "noslip"
+	BoundaryY   string     `json:"boundaryY"`
+	BoundaryZ   string     `json:"boundaryZ"`
+	LidVelocity [3]float64 `json:"lidVelocity"`
+	Solver      string     `json:"solver"`
+	Threads     int        `json:"threads"`
+	CubeSize    int        `json:"cubeSize,omitempty"`
+	// LockedSpread records the mutex-spreading ablation so a replayed run
+	// takes the same force-accumulation path as the original.
+	LockedSpread bool        `json:"lockedSpread,omitempty"`
+	Sheets       []SheetSpec `json:"sheets,omitempty"`
 }
 
 // Health is the manifest form of the watchdog's latched HealthError.

@@ -10,12 +10,17 @@
 //     (Algorithm 3).
 //
 // Force spreading (kernel 4) lets different fibers write the same fluid
-// node, so the fluid force field is protected by one mutex per x-plane;
-// a spreading thread locks a single plane at a time, which keeps the scheme
-// deadlock-free. The resulting accumulation order is nondeterministic, so
-// results match the sequential solver to floating-point tolerance rather
-// than bitwise (the paper likewise validates numerically against the
-// sequential program).
+// node. By default each spreading thread accumulates its contributions
+// into a private sparse per-x-plane buffer and a second parallel region
+// reduces the touched planes into the grid in ascending thread order —
+// no locks remain on the path, and under the Static schedule the
+// floating-point accumulation order is identical from run to run at a
+// fixed thread count (DESIGN.md §13). Config.LockedSpread restores the
+// original one-mutex-per-x-plane scheme for the locked-vs-lock-free
+// ablation. Either way the parallel accumulation order differs from the
+// sequential solver's fiber order, so results match it to floating-point
+// tolerance rather than bitwise (the paper likewise validates
+// numerically against the sequential program).
 package omp
 
 import (
@@ -49,6 +54,11 @@ type Config struct {
 	// instead of the O(1) buffer swap — kept for the copy-vs-swap
 	// ablation; results are bitwise identical either way.
 	LegacyCopy bool
+	// LockedSpread restores the per-x-plane mutex protection of force
+	// spreading instead of the lock-free accumulation + reduction default
+	// — kept for the locked-vs-lock-free ablation and as the contention
+	// baseline the attribution layer was built against.
+	LockedSpread bool
 }
 
 // Solver runs LBM-IB time steps with loop-level parallelism. It embeds the
@@ -56,10 +66,11 @@ type Config struct {
 // overrides the per-kernel loops with parallel regions.
 type Solver struct {
 	*core.Solver
-	Threads    int
-	Schedule   Schedule
-	Chunk      int
-	LegacyCopy bool
+	Threads      int
+	Schedule     Schedule
+	Chunk        int
+	LegacyCopy   bool
+	LockedSpread bool
 
 	// Regions, when non-nil, receives per-thread busy times for every
 	// parallel region; Locks, when non-nil, receives per-acquisition
@@ -68,15 +79,24 @@ type Solver struct {
 	Locks   LockObserver
 
 	team       *par.Team
-	planeLocks []sync.Mutex // one per x-plane, guards Force accumulation
-	curKernel  core.Kernel  // kernel whose region is running, for Regions
+	planeLocks []sync.Mutex  // one per x-plane, guards Force accumulation (LockedSpread only)
+	accums     []*planeAccum // per-thread spreading buffers (lock-free path)
+	spreadGen  int           // current spread generation, stamps accum planes
+	curKernel  core.Kernel   // kernel whose region is running, for Regions
 }
 
 // NewSolver builds the parallel solver and starts its thread team. Like
 // the other parallel constructors it rejects a NaN-unstable Tau <= 0.5.
+// Threads is clamped to the x-plane count: the fluid loops parallelize
+// over NX slabs, so workers beyond NX would own nothing yet still join
+// every region barrier, skewing imbalance attribution toward phantom
+// idle threads.
 func NewSolver(cfg Config) (*Solver, error) {
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
+	}
+	if cfg.Threads > cfg.NX {
+		cfg.Threads = cfg.NX
 	}
 	if cfg.Chunk < 1 {
 		cfg.Chunk = 1
@@ -86,13 +106,20 @@ func NewSolver(cfg Config) (*Solver, error) {
 		return nil, err
 	}
 	s := &Solver{
-		Solver:     cs,
-		Threads:    cfg.Threads,
-		Schedule:   cfg.Schedule,
-		Chunk:      cfg.Chunk,
-		LegacyCopy: cfg.LegacyCopy,
-		team:       par.NewTeam(cfg.Threads),
-		planeLocks: make([]sync.Mutex, cfg.NX),
+		Solver:       cs,
+		Threads:      cfg.Threads,
+		Schedule:     cfg.Schedule,
+		Chunk:        cfg.Chunk,
+		LegacyCopy:   cfg.LegacyCopy,
+		LockedSpread: cfg.LockedSpread,
+		team:         par.NewTeam(cfg.Threads),
+		planeLocks:   make([]sync.Mutex, cfg.NX),
+	}
+	if !cfg.LockedSpread && cfg.Threads > 1 {
+		s.accums = make([]*planeAccum, cfg.Threads)
+		for i := range s.accums {
+			s.accums[i] = newPlaneAccum(cfg.NX)
+		}
 	}
 	// Kernel 4 accumulates on top of the reset that UpdateVelocity leaves
 	// behind (the force-reset sweep is folded into kernel 7 here); seed
@@ -234,16 +261,34 @@ func (s *Solver) ComputeElasticForce() {
 
 // lockedPlanes adapts the fluid grid as an ibm.ForceAccumulator whose
 // accumulation is serialized per x-plane; tid identifies the spreading
-// thread for lock-wait attribution.
+// thread for lock-wait attribution. seen tracks which planes the current
+// stencil scatter has already locked, so repeat acquisitions report as
+// re-acquires rather than inflating fresh-acquisition counts; begin
+// resets it at each stencil. A SupportWidth window spans at most
+// ibm.SupportWidth planes, so the backing array never spills to heap.
 type lockedPlanes struct {
-	s   *Solver
-	tid int
+	s    *Solver
+	tid  int
+	seen []int
+	buf  [ibm.SupportWidth]int
 }
 
-func (l lockedPlanes) AddForce(x, y, z int, f [3]float64) {
+func (l *lockedPlanes) begin() { l.seen = l.buf[:0] }
+
+func (l *lockedPlanes) AddForce(x, y, z int, f [3]float64) {
 	g := l.s.Fluid
 	wx, wy, wz := g.Wrap(x, y, z)
-	l.s.lockPlane(l.tid, wx)
+	reacquire := false
+	for _, p := range l.seen {
+		if p == wx {
+			reacquire = true
+			break
+		}
+	}
+	if !reacquire {
+		l.seen = append(l.seen, wx)
+	}
+	l.s.lockPlane(l.tid, wx, reacquire)
 	n := &g.Nodes[g.Idx(wx, wy, wz)]
 	n.Force[0] += f[0]
 	n.Force[1] += f[1]
@@ -251,16 +296,48 @@ func (l lockedPlanes) AddForce(x, y, z int, f [3]float64) {
 	l.s.planeLocks[wx].Unlock()
 }
 
-// SpreadForce is kernel 4, parallel over fibers with per-x-plane locking.
-// The force-field reset the paper runs here is folded into the previous
-// step's UpdateVelocity sweep (and seeded at construction), saving one
-// full-grid pass per step; spreading accumulates on top of that reset.
+// SpreadForce is kernel 4, parallel over fibers. The force-field reset
+// the paper runs here is folded into the previous step's UpdateVelocity
+// sweep (and seeded at construction), saving one full-grid pass per
+// step; spreading accumulates on top of that reset.
+//
+// On the default lock-free path each thread scatters into its private
+// planeAccum and a second parallel region reduces the touched planes
+// into the grid (see spread.go); with LockedSpread the grid is written
+// directly under the per-x-plane mutexes.
 func (s *Solver) SpreadForce() {
 	if len(s.Sheets) == 0 {
 		return
 	}
+	if s.LockedSpread {
+		s.parallelFor(fiber.TotalFibers(s.Sheets), func(tid, lo, hi int) {
+			acc := lockedPlanes{s: s, tid: tid}
+			s.forEachFiber(lo, hi, func(sh *fiber.Sheet, a, b int) {
+				area := sh.AreaElement()
+				for i := a; i < b; i++ {
+					acc.begin()
+					ibm.Spread(&acc, sh.X[i], sh.Force[i], area)
+				}
+			})
+		})
+		return
+	}
+	if s.Threads == 1 {
+		s.parallelFor(fiber.TotalFibers(s.Sheets), func(_, lo, hi int) {
+			acc := gridWriter{s: s}
+			s.forEachFiber(lo, hi, func(sh *fiber.Sheet, a, b int) {
+				area := sh.AreaElement()
+				for i := a; i < b; i++ {
+					ibm.Spread(acc, sh.X[i], sh.Force[i], area)
+				}
+			})
+		})
+		return
+	}
+	s.spreadGen++
+	gen := s.spreadGen
 	s.parallelFor(fiber.TotalFibers(s.Sheets), func(tid, lo, hi int) {
-		acc := lockedPlanes{s: s, tid: tid}
+		acc := &planeWriter{s: s, acc: s.accums[tid], gen: gen}
 		s.forEachFiber(lo, hi, func(sh *fiber.Sheet, a, b int) {
 			area := sh.AreaElement()
 			for i := a; i < b; i++ {
@@ -268,6 +345,7 @@ func (s *Solver) SpreadForce() {
 			}
 		})
 	})
+	s.reduceSpread(gen)
 }
 
 // ComputeCollision is kernel 5 parallelized over x-slabs (Algorithm 2).

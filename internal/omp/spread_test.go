@@ -1,0 +1,80 @@
+// Tests for the loop-parallel engine's lock-free spreading (per-thread
+// plane accumulation + reduction), the LockedSpread ablation, and the
+// thread-count clamp against the x-plane loop.
+package omp
+
+import (
+	"testing"
+
+	"lbmib/internal/validate"
+)
+
+// The lock-free default and the LockedSpread ablation must agree within
+// the validation tolerance (they order the force sums differently, so the
+// match is tolerance-based, not bitwise).
+func TestLockFreeMatchesLockedSpread(t *testing.T) {
+	const steps = 10
+	for _, threads := range []int{2, 4, 8} {
+		lf := MustNewSolver(Config{Config: baseConfig(testSheet()), Threads: threads})
+		lk := MustNewSolver(Config{Config: baseConfig(testSheet()), Threads: threads, LockedSpread: true})
+		lf.Run(steps)
+		lk.Run(steps)
+		gd, err := validate.Grids(lf.Fluid, lk.Fluid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gd.Within(validate.DefaultTol) {
+			t.Fatalf("threads=%d: lock-free and locked spreading diverge: %v", threads, gd)
+		}
+		sd, err := validate.Sheets(lf.Sheet(), lk.Sheet())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sd.Within(validate.DefaultTol) {
+			t.Fatalf("threads=%d: sheets diverge between spread paths: %v", threads, sd)
+		}
+		lf.Close()
+		lk.Close()
+	}
+}
+
+// Under the Static schedule each thread's plane range is fixed and the
+// reduction folds buffers in ascending thread order, so two identical
+// multi-threaded lock-free runs must be bitwise equal.
+func TestLockFreeDeterministicRunToRun(t *testing.T) {
+	const steps = 8
+	run := func() *Solver {
+		s := MustNewSolver(Config{Config: baseConfig(testSheet()), Threads: 4, Schedule: Static})
+		s.Run(steps)
+		return s
+	}
+	a, b := run(), run()
+	defer a.Close()
+	defer b.Close()
+	for i := range a.Fluid.Nodes {
+		if a.Fluid.Nodes[i].DF != b.Fluid.Nodes[i].DF {
+			t.Fatalf("node %d DF differs between identical 4-thread lock-free runs", i)
+		}
+	}
+	for i := range a.Sheet().X {
+		if a.Sheet().X[i] != b.Sheet().X[i] {
+			t.Fatalf("fiber node %d position differs between identical runs", i)
+		}
+	}
+}
+
+// Satellite coverage for the thread-count clamp: the engine parallelizes
+// over x-planes, so a team wider than NX would idle workers in every
+// region and skew the imbalance attribution. The count is clamped at
+// construction and the clamped team must still step correctly.
+func TestThreadsClampedToPlanes(t *testing.T) {
+	s := MustNewSolver(Config{
+		Config:  baseConfig(nil),
+		Threads: 64, // NX is 16
+	})
+	defer s.Close()
+	if s.Threads != 16 {
+		t.Fatalf("Threads = %d, want 16 (clamped to the x-plane count)", s.Threads)
+	}
+	s.Run(2)
+}

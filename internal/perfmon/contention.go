@@ -28,11 +28,16 @@ type ContentionProfile struct {
 	barrierNanos []atomic.Int64
 	barrierCount []atomic.Int64
 	// by owner (thread whose lock was taken — or plane index for omp)
-	// and by waiter (thread that blocked).
+	// and by waiter (thread that blocked). Acquires and contention counts
+	// keep fresh acquisitions separate from within-stencil re-acquires
+	// (the A→B→A hand-over-hand return leg) so contended-acquire rates
+	// divide by stencil-level acquisition attempts, not every lock call.
 	lockNanosOwner  []atomic.Int64
 	lockNanosWaiter []atomic.Int64
 	acquiresOwner   []atomic.Int64
 	contendedOwner  []atomic.Int64
+	reacqOwner      []atomic.Int64
+	contendedReacq  []atomic.Int64
 }
 
 // NewContentionProfile sizes a profile for the given thread count and
@@ -48,6 +53,8 @@ func NewContentionProfile(threads, owners int) *ContentionProfile {
 		lockNanosWaiter: make([]atomic.Int64, threads),
 		acquiresOwner:   make([]atomic.Int64, owners),
 		contendedOwner:  make([]atomic.Int64, owners),
+		reacqOwner:      make([]atomic.Int64, owners),
+		contendedReacq:  make([]atomic.Int64, owners),
 	}
 }
 
@@ -62,13 +69,26 @@ func (p *ContentionProfile) BarrierWait(site cubesolver.BarrierSite, tid int, wa
 }
 
 // LockWait implements cubesolver.ContentionObserver (and, structurally,
-// omp.LockObserver): waiter blocked on owner's lock for wait.
-func (p *ContentionProfile) LockWait(waiter, owner int, wait time.Duration, contended bool) {
+// omp.LockObserver): waiter blocked on owner's lock for wait. Fresh
+// acquisitions and within-stencil re-acquires are counted in separate
+// columns — TotalAcquires/ContendedAcquires report fresh ones only, so
+// the contended rate is per stencil-level attempt; re-acquire totals are
+// exposed via Reacquires/ContendedReacquires. Wait time is attributed to
+// the owner and waiter either way (blocking is blocking).
+func (p *ContentionProfile) LockWait(waiter, owner int, wait time.Duration, contended, reacquire bool) {
 	if owner >= 0 && owner < p.owners {
-		p.acquiresOwner[owner].Add(1)
-		if contended {
-			p.contendedOwner[owner].Add(1)
-			p.lockNanosOwner[owner].Add(int64(wait))
+		if reacquire {
+			p.reacqOwner[owner].Add(1)
+			if contended {
+				p.contendedReacq[owner].Add(1)
+				p.lockNanosOwner[owner].Add(int64(wait))
+			}
+		} else {
+			p.acquiresOwner[owner].Add(1)
+			if contended {
+				p.contendedOwner[owner].Add(1)
+				p.lockNanosOwner[owner].Add(int64(wait))
+			}
 		}
 	}
 	if contended && waiter >= 0 && waiter < p.threads {
@@ -132,7 +152,8 @@ func (p *ContentionProfile) LockWaitTotal() time.Duration {
 	return time.Duration(t)
 }
 
-// TotalAcquires returns how many lock acquisitions were recorded.
+// TotalAcquires returns how many fresh lock acquisitions were recorded
+// (within-stencil re-acquires are counted by Reacquires instead).
 func (p *ContentionProfile) TotalAcquires() int64 {
 	var n int64
 	for i := range p.acquiresOwner {
@@ -141,11 +162,33 @@ func (p *ContentionProfile) TotalAcquires() int64 {
 	return n
 }
 
-// ContendedAcquires returns how many acquisitions found the lock held.
+// ContendedAcquires returns how many fresh acquisitions found the lock
+// held.
 func (p *ContentionProfile) ContendedAcquires() int64 {
 	var n int64
 	for i := range p.contendedOwner {
 		n += p.contendedOwner[i].Load()
+	}
+	return n
+}
+
+// Reacquires returns how many within-stencil re-acquisitions were
+// recorded — return legs of the A→B→A hand-over-hand pattern, which
+// earlier inflated TotalAcquires.
+func (p *ContentionProfile) Reacquires() int64 {
+	var n int64
+	for i := range p.reacqOwner {
+		n += p.reacqOwner[i].Load()
+	}
+	return n
+}
+
+// ContendedReacquires returns how many re-acquisitions found the lock
+// held.
+func (p *ContentionProfile) ContendedReacquires() int64 {
+	var n int64
+	for i := range p.contendedReacq {
+		n += p.contendedReacq[i].Load()
 	}
 	return n
 }
@@ -173,7 +216,7 @@ func (p *ContentionProfile) Publish(reg *telemetry.Registry, engine string) {
 		}
 	}
 	for owner := 0; owner < p.owners; owner++ {
-		if p.contendedOwner[owner].Load() == 0 {
+		if p.contendedOwner[owner].Load() == 0 && p.contendedReacq[owner].Load() == 0 {
 			continue
 		}
 		reg.Gauge("lbmib_lock_wait_seconds",

@@ -40,9 +40,9 @@ func TestContentionProfileAccumulates(t *testing.T) {
 		t.Fatalf("total wait = %v", got)
 	}
 
-	p.LockWait(0, 1, 0, false)
-	p.LockWait(0, 1, 2*time.Millisecond, true)
-	p.LockWait(1, 0, 0, false)
+	p.LockWait(0, 1, 0, false, false)
+	p.LockWait(0, 1, 2*time.Millisecond, true, false)
+	p.LockWait(1, 0, 0, false, false)
 	if p.TotalAcquires() != 3 || p.ContendedAcquires() != 1 {
 		t.Fatalf("acquires = %d/%d", p.ContendedAcquires(), p.TotalAcquires())
 	}
@@ -50,10 +50,28 @@ func TestContentionProfileAccumulates(t *testing.T) {
 		t.Fatalf("lock wait attribution wrong: owner=%v waiter=%v",
 			p.LockWaitByOwner(1), p.LockWaitByWaiter(0))
 	}
+	// Re-acquires (the A→B→A return leg of a hand-over-hand stencil walk)
+	// land in their own counters: they must not inflate fresh-acquisition
+	// totals, but a contended re-acquire's wait is still real blocking and
+	// stays attributed to owner and waiter.
+	p.LockWait(0, 1, 0, false, true)
+	p.LockWait(0, 1, time.Millisecond, true, true)
+	if p.TotalAcquires() != 3 || p.ContendedAcquires() != 1 {
+		t.Fatalf("re-acquires leaked into fresh counts: %d/%d",
+			p.ContendedAcquires(), p.TotalAcquires())
+	}
+	if p.Reacquires() != 2 || p.ContendedReacquires() != 1 {
+		t.Fatalf("reacquires = %d/%d, want 1/2", p.ContendedReacquires(), p.Reacquires())
+	}
+	if p.LockWaitByOwner(1) != 3*time.Millisecond || p.LockWaitByWaiter(0) != 3*time.Millisecond {
+		t.Fatalf("re-acquire wait lost: owner=%v waiter=%v",
+			p.LockWaitByOwner(1), p.LockWaitByWaiter(0))
+	}
 	// Out-of-range records must be dropped, not crash.
 	p.BarrierWait(cubesolver.BarrierSite(99), 0, time.Second)
 	p.BarrierWait(cubesolver.SiteEndOfStep, 99, time.Second)
-	p.LockWait(99, 99, time.Second, true)
+	p.LockWait(99, 99, time.Second, true, false)
+	p.LockWait(99, 99, time.Second, true, true)
 	if p.BarrierWaitTotal() != 18*time.Millisecond {
 		t.Fatal("out-of-range barrier record was kept")
 	}
@@ -67,7 +85,7 @@ func TestContentionProfileAccumulates(t *testing.T) {
 	text := buf.String()
 	for _, want := range []string{
 		`lbmib_barrier_wait_seconds{engine="cube",site="after_stream",thread="0"} 0.015`,
-		`lbmib_lock_wait_seconds{engine="cube",owner="1"} 0.002`,
+		`lbmib_lock_wait_seconds{engine="cube",owner="1"} 0.003`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q in:\n%s", want, text)
@@ -253,8 +271,9 @@ func TestSkewSelfTest(t *testing.T) {
 }
 
 // TestOwnerLockInstrumentation drives a multi-sheet 8-thread cube solver
-// under the contention profile (race-exercises the TryLock/timed-Lock
-// path) and checks every spreading acquisition was recorded.
+// on the LockedSpread ablation under the contention profile
+// (race-exercises the TryLock/timed-Lock path) and checks every
+// spreading acquisition was recorded.
 func TestOwnerLockInstrumentation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real solver")
@@ -268,8 +287,9 @@ func TestOwnerLockInstrumentation(t *testing.T) {
 	}
 	s, err := cubesolver.NewSolver(cubesolver.Config{
 		NX: 16, NY: 16, NZ: 16, CubeSize: 4, Threads: threads, Tau: 0.7,
-		BodyForce: [3]float64{3e-5, 0, 0},
-		Sheets:    []*fiber.Sheet{mkSheet(4.3), mkSheet(8.1)},
+		BodyForce:    [3]float64{3e-5, 0, 0},
+		Sheets:       []*fiber.Sheet{mkSheet(4.3), mkSheet(8.1)},
+		LockedSpread: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -292,6 +312,43 @@ func TestOwnerLockInstrumentation(t *testing.T) {
 	}
 	if byWaiter != cont.LockWaitTotal() {
 		t.Fatalf("lock wait by-waiter %v != by-owner %v", byWaiter, cont.LockWaitTotal())
+	}
+}
+
+// TestLockFreeSpreadNoLockEvents is the tentpole's headline check at the
+// profile level: the same structure on the default (lock-free) spreading
+// path records zero lock events of any kind — the contended path is
+// gone, not merely cheaper.
+func TestLockFreeSpreadNoLockEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real solver")
+	}
+	const threads = 8
+	sh := fiber.NewSheet(fiber.Params{
+		NumFibers: 8, NodesPerFiber: 8, Width: 7, Height: 7,
+		Origin: fiber.Vec3{6, 4.3, 4.6}, Ks: 0.05, Kb: 0.001,
+	})
+	s, err := cubesolver.NewSolver(cubesolver.Config{
+		NX: 16, NY: 16, NZ: 16, CubeSize: 4, Threads: threads, Tau: 0.7,
+		Sheets: []*fiber.Sheet{sh},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	cont := NewContentionProfile(threads, threads)
+	s.Contention = cont
+	s.Run(3)
+
+	if a, r := cont.TotalAcquires(), cont.Reacquires(); a != 0 || r != 0 {
+		t.Fatalf("lock events on the lock-free path: %d acquires, %d reacquires", a, r)
+	}
+	if cont.LockWaitTotal() != 0 {
+		t.Fatalf("lock wait on the lock-free path: %v", cont.LockWaitTotal())
+	}
+	// Barrier instrumentation still works on this path.
+	if cont.BarrierWaitTotal() == 0 {
+		t.Error("no barrier waits recorded at all")
 	}
 }
 
@@ -320,9 +377,10 @@ func TestRegionProfileRealSolver(t *testing.T) {
 	const steps = 3
 	s.Run(steps)
 
-	// 8 parallel regions per step (kernel 9 is an O(1) swap — no region).
-	if got := reg.Regions(); got != 8*steps {
-		t.Fatalf("regions = %d, want %d", got, 8*steps)
+	// 9 parallel regions per step: 8 kernel regions (kernel 9 is an O(1)
+	// swap — no region) plus lock-free spreading's reduction region.
+	if got := reg.Regions(); got != 9*steps {
+		t.Fatalf("regions = %d, want %d", got, 9*steps)
 	}
 	if reg.ImbalanceRatio() < 1 {
 		t.Fatalf("imbalance ratio = %g, want ≥ 1", reg.ImbalanceRatio())
@@ -333,8 +391,9 @@ func TestRegionProfileRealSolver(t *testing.T) {
 	if reg.KernelBusy(core.KComputeCollision)[0] == 0 {
 		t.Fatal("no busy time recorded for the collision kernel on thread 0")
 	}
-	if lock.TotalAcquires() == 0 {
-		t.Fatal("no plane-lock acquisitions recorded")
+	// Spreading is lock-free by default: no plane-lock events at all.
+	if a, r := lock.TotalAcquires(), lock.Reacquires(); a != 0 || r != 0 {
+		t.Fatalf("plane-lock events on the lock-free path: %d acquires, %d reacquires", a, r)
 	}
 }
 
@@ -354,7 +413,7 @@ func TestProfilesConcurrentUse(t *testing.T) {
 				kp.KernelDone(i, core.KComputeCollision, time.Microsecond)
 				pp.PhaseDone(i, tid, cubesolver.PhaseCollideStream, time.Microsecond)
 				cp.BarrierWait(cubesolver.SiteEndOfStep, tid, time.Microsecond)
-				cp.LockWait(tid, (tid+1)%8, time.Microsecond, true)
+				cp.LockWait(tid, (tid+1)%8, time.Microsecond, true, i%2 == 1)
 			}
 		}(tid)
 	}
@@ -365,7 +424,8 @@ func TestProfilesConcurrentUse(t *testing.T) {
 	if pp.ImbalanceRatio() != 1 {
 		t.Fatalf("uniform load imbalance ratio = %g, want 1", pp.ImbalanceRatio())
 	}
-	if cp.TotalAcquires() != 1600 {
-		t.Fatalf("acquires = %d", cp.TotalAcquires())
+	if cp.TotalAcquires() != 800 || cp.Reacquires() != 800 {
+		t.Fatalf("acquires = %d/%d, want 800 fresh + 800 reacquires",
+			cp.TotalAcquires(), cp.Reacquires())
 	}
 }

@@ -158,10 +158,18 @@ type Config struct {
 	// Solver selects the engine (default Sequential).
 	Solver SolverKind
 	// Threads is the worker count for the parallel engines (default 1).
+	// Requests exceeding what the decomposition can employ — more threads
+	// than cubes (CubeBased) or x-planes (OpenMP) — are clamped at
+	// construction; Config() reports the effective count.
 	Threads int
 	// CubeSize is the cube edge k for the CubeBased engine (default 4);
 	// the grid dimensions must be divisible by it.
 	CubeSize int
+	// LockedSpread restores mutex-protected force spreading (per-owner
+	// locks for CubeBased, per-x-plane locks for OpenMP) instead of the
+	// lock-free per-thread accumulation + reduction default — kept for
+	// the locked-vs-lock-free ablation (lbmib-bench -exp spreading).
+	LockedSpread bool
 
 	// Telemetry, when non-nil, receives runtime metrics from the
 	// simulation: a step counter, an MLUPS gauge, per-step wall-time
@@ -374,10 +382,14 @@ func New(cfg Config) (*Simulation, error) {
 		}
 		sim.eng = &seqEngine{cs}
 	case OpenMP:
-		os, err := omp.NewSolver(omp.Config{Config: coreCfg, Threads: cfg.Threads})
+		os, err := omp.NewSolver(omp.Config{Config: coreCfg, Threads: cfg.Threads,
+			LockedSpread: cfg.LockedSpread})
 		if err != nil {
 			return nil, err
 		}
+		// The solver may clamp the requested thread count; the telemetry
+		// profiles below must be sized to the team that actually runs.
+		sim.cfg.Threads = os.Threads
 		sim.eng = &ompEngine{os}
 	case CubeBased:
 		k := cfg.CubeSize
@@ -389,13 +401,17 @@ func New(cfg Config) (*Simulation, error) {
 			CubeSize: k, Threads: cfg.Threads, Tau: cfg.Tau,
 			BodyForce: cfg.BodyForce,
 			BCX:       toBC(cfg.BoundaryX), BCY: toBC(cfg.BoundaryY), BCZ: toBC(cfg.BoundaryZ),
-			LidVelocity: cfg.LidVelocity,
-			Sheets:      sheets,
-			Dist:        par.Block,
+			LidVelocity:  cfg.LidVelocity,
+			Sheets:       sheets,
+			Dist:         par.Block,
+			LockedSpread: cfg.LockedSpread,
 		})
 		if err != nil {
 			return nil, err
 		}
+		// The solver may clamp the requested thread count; the telemetry
+		// profiles below must be sized to the team that actually runs.
+		sim.cfg.Threads = cs.Threads()
 		sim.eng = &cubeEngine{cs}
 	case TaskScheduled:
 		k := cfg.CubeSize
@@ -524,10 +540,11 @@ func (s *Simulation) runSpec() flightrec.RunSpec {
 		Tau:       cfg.Tau,
 		BodyForce: cfg.BodyForce,
 		BoundaryX: bname(cfg.BoundaryX), BoundaryY: bname(cfg.BoundaryY), BoundaryZ: bname(cfg.BoundaryZ),
-		LidVelocity: cfg.LidVelocity,
-		Solver:      cfg.Solver.String(),
-		Threads:     cfg.Threads,
-		CubeSize:    cfg.CubeSize,
+		LidVelocity:  cfg.LidVelocity,
+		Solver:       cfg.Solver.String(),
+		Threads:      cfg.Threads,
+		CubeSize:     cfg.CubeSize,
+		LockedSpread: cfg.LockedSpread,
 	}
 	for _, sc := range append(append([]*SheetConfig(nil), cfg.Sheets...), cfg.Sheet) {
 		if sc == nil {
@@ -562,12 +579,13 @@ func ConfigFromRunSpec(spec flightrec.RunSpec) (Config, error) {
 	}
 	cfg := Config{
 		NX: spec.NX, NY: spec.NY, NZ: spec.NZ,
-		Tau:         spec.Tau,
-		BodyForce:   spec.BodyForce,
-		LidVelocity: spec.LidVelocity,
-		Solver:      solver,
-		Threads:     spec.Threads,
-		CubeSize:    spec.CubeSize,
+		Tau:          spec.Tau,
+		BodyForce:    spec.BodyForce,
+		LidVelocity:  spec.LidVelocity,
+		Solver:       solver,
+		Threads:      spec.Threads,
+		CubeSize:     spec.CubeSize,
+		LockedSpread: spec.LockedSpread,
 	}
 	if cfg.BoundaryX, err = bparse(spec.BoundaryX); err != nil {
 		return Config{}, err
@@ -795,10 +813,16 @@ type ContentionStats struct {
 	// barriers (OpenMP).
 	BarrierWaitShare float64
 	// LockWaitShare is the fraction of total thread-time blocked on
-	// spreading locks.
+	// spreading locks. Identically zero on the default lock-free spreading
+	// path; nonzero only with Config.LockedSpread.
 	LockWaitShare     float64
 	ContendedAcquires int64
 	TotalAcquires     int64
+	// Reacquires counts within-stencil re-acquisitions (the A→B→A
+	// hand-over-hand return leg), kept out of TotalAcquires so contended
+	// rates divide by stencil-level attempts.
+	Reacquires          int64
+	ContendedReacquires int64
 }
 
 // ContentionStats reports the accumulated contention rollup; ok is false
@@ -828,6 +852,8 @@ func (s *Simulation) ContentionStats() (ContentionStats, bool) {
 		}
 		st.ContendedAcquires = si.cont.ContendedAcquires()
 		st.TotalAcquires = si.cont.TotalAcquires()
+		st.Reacquires = si.cont.Reacquires()
+		st.ContendedReacquires = si.cont.ContendedReacquires()
 	}
 	return st, true
 }

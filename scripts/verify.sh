@@ -47,6 +47,14 @@ go run ./cmd/lbmib-bench -exp imbalance -out BENCH_smoke.json
 scripts/bench_compare BENCH_baseline.json BENCH_smoke.json
 rm -f BENCH_smoke.json
 
+# Spreading bench smoke: locked vs lock-free force spreading on both
+# lockable engines, diffed against the committed baseline and checked
+# against the spreading invariants (lock-free rows must be lock-event-
+# free; slower-than-locked is a warning, like all drift here).
+go run ./cmd/lbmib-bench -exp spreading -out BENCH_smoke.json
+scripts/bench_compare BENCH_pr7.json BENCH_smoke.json
+rm -f BENCH_smoke.json
+
 # Flight-recorder forensics smoke: a run driven far past the lattice's
 # stability envelope must trip the watchdog, leave a post-mortem bundle,
 # and lbmib-postmortem must decode it.
