@@ -22,7 +22,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmib-bench: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, imbalance, spreading, flightrec, copyswap, ablations or all")
+		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, imbalance, spreading, fused, flightrec, copyswap, ablations or all")
 		paper       = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
 		steps       = flag.Int("steps", 0, "override time steps for measured experiments")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and pprof on this address while benchmarks run")
@@ -120,6 +120,25 @@ func main() {
 			}
 			if path != "" {
 				if err := experiments.WriteBench(path, experiments.BenchFromSpreading(r)); err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&b, "benchmark written to %s (schema %s)\n", path, experiments.BenchSchema)
+			}
+			return b.String(), nil
+		}},
+		{"fused", func() (string, error) {
+			r, err := experiments.FusedThroughput(opt, reg)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			b.WriteString(r.Render())
+			path := *out
+			if path == "" && *exp == "fused" {
+				path = "BENCH_fused.json"
+			}
+			if path != "" {
+				if err := experiments.WriteBench(path, experiments.BenchFromFused(r)); err != nil {
 					return "", err
 				}
 				fmt.Fprintf(&b, "benchmark written to %s (schema %s)\n", path, experiments.BenchSchema)

@@ -25,3 +25,27 @@ func accessorOK(g *grid.Grid) float64 {
 	n := &g.Nodes[0]
 	return n.Buf(g.Cur())[0]
 }
+
+// fusedSweepRaw is the PR 8 seeded defect: a fused collide+stream pull
+// sweep written against the raw fields instead of Buf(cur)/Buf(next).
+// On the double-buffered engines DF is only "present" while the parity
+// bit is 0, so after the first swap this sweep collides the previous
+// step's populations and pulls into the buffer it just read — exactly
+// the silent corruption paritycheck exists to catch, even when the
+// whole update is a single loop nest with no separate stream pass.
+func fusedSweepRaw(g *grid.Grid, delta [19]int, tau float64) {
+	inv := 1 / tau
+	for i := range g.Nodes {
+		for q := range g.Nodes[i].DF { //want:paritycheck
+			g.Nodes[i].DF[q] -= inv * g.Nodes[i].DF[q] //want:paritycheck
+		}
+	}
+	for i := range g.Nodes {
+		for q, d := range delta {
+			src := i - d
+			if src >= 0 && src < len(g.Nodes) {
+				g.Nodes[i].DFNew[q] = g.Nodes[src].DF[q] //want:paritycheck
+			}
+		}
+	}
+}

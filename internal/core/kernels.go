@@ -189,9 +189,7 @@ func NewSolver(cfg Config) (*Solver, error) {
 			LidVelocity: cfg.LidVelocity,
 		},
 	}
-	for i := 0; i < lattice.Q; i++ {
-		s.streamDelta[i] = (lattice.E[i][0]*cfg.NY+lattice.E[i][1])*cfg.NZ + lattice.E[i][2]
-	}
+	s.streamDelta = s.Fluid.StreamDeltas()
 	return s, nil
 }
 

@@ -9,9 +9,12 @@
 // non-cube-divisible edges, cube sizes, thread counts, relaxation times,
 // boundary combinations, moving lids, and zero-, one- and multi-sheet
 // immersed structures. A Runner executes the same configuration on every
-// applicable engine and holds the results to the per-engine equivalence
-// contract (bitwise where the engine is deterministic, tolerance where
-// parallel force spreading reorders floating-point accumulation), checks
+// applicable engine — including the fused single-sweep engine in both
+// its float64 and float32 storage modes — and holds the results to the
+// per-engine equivalence contract (bitwise where the engine is
+// deterministic, tolerance where parallel force spreading reorders
+// floating-point accumulation, and the relaxed Tol32 contract where
+// float32 storage rounds every distribution once per step), checks
 // physics invariants every few steps (finite fields, mass conservation,
 // fiber arclength bounds, driven-momentum sign), runs metamorphic
 // symmetry oracles (axis permutation, lid mirror) and a mid-run

@@ -7,6 +7,7 @@ import (
 
 	"lbmib"
 	"lbmib/internal/flightrec"
+	"lbmib/internal/fused"
 	"lbmib/internal/omp"
 )
 
@@ -75,6 +76,49 @@ func TestInjectedFaultDetected(t *testing.T) {
 		t.Errorf("divergence reported but omp not named:\n%s", res.FailureSummary())
 	}
 	t.Logf("fault detected at seed %d:\n%s", seed, res.FailureSummary())
+}
+
+// TestInjectedFusedFaultDetected repeats the sensitivity proof for the
+// fused engine: a streaming-off-by-one stand-in (node 0's live
+// distributions replaced by node 1's after every fused step, in whichever
+// storage mode is active) must be flagged on the fused engines and only
+// there — the float64 engines keep agreeing with the reference.
+func TestInjectedFusedFaultDetected(t *testing.T) {
+	seed := faultSensitiveSeed(t)
+	r := NewRunner()
+
+	if res := r.Run(Gen(seed)); !res.OK {
+		t.Fatalf("seed %d must pass without the fault, got:\n%s", seed, res.FailureSummary())
+	}
+
+	fused.FaultHook = func(s *fused.Solver) { s.CopyNodeDist(0, 1) }
+	t.Cleanup(func() { fused.FaultHook = nil })
+
+	res := r.Run(Gen(seed))
+	if res.OK {
+		t.Fatalf("seed %d passed with an injected off-by-one in the fused engine; the harness is blind", seed)
+	}
+	flagged := false
+	for _, er := range res.Engines {
+		switch er.Engine {
+		case string(EngineFused), string(EngineFusedF32):
+			if len(er.Failures) > 0 {
+				flagged = true
+			}
+		case string(EngineOMP), string(EngineSoA):
+			if len(er.Failures) > 0 {
+				t.Errorf("%s engine flagged but the fault lives in fused:\n%s",
+					er.Engine, strings.Join(er.Failures, "\n"))
+			}
+		}
+	}
+	// The fused checkpoint round-trip also runs under the hook on both
+	// halves, so it stays on-trajectory; the per-engine report is the
+	// primary signal.
+	if !flagged && len(res.Failures) == 0 {
+		t.Errorf("divergence reported but fused not named:\n%s", res.FailureSummary())
+	}
+	t.Logf("fused fault detected at seed %d:\n%s", seed, res.FailureSummary())
 }
 
 // TestMinimizeShrinksFailingCase runs the greedy minimizer under the

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/cubesolver"
+	"lbmib/internal/fused"
+	"lbmib/internal/omp"
+	"lbmib/internal/par"
+	"lbmib/internal/perfmon"
+	"lbmib/internal/telemetry"
+)
+
+// FusedResult is the fused-engine throughput comparison: the memory-bound
+// baseline engines (omp's three sweeps, cube's four phases) against the
+// fused single-sweep engine in both storage modes, on the same two-sheet
+// contention problem LoadImbalance uses.
+type FusedResult struct {
+	NX, NY, NZ int
+	CubeSize   int
+	Threads    int
+	Steps      int
+	FiberNodes int
+	Rows       []ImbalanceRow
+}
+
+// FusedThroughput measures what fusing collide+stream+boundary+swap into
+// one sweep buys: the omp engine walks the grid three times per step
+// (collide, stream, update-velocity) and the cube engine four, while the
+// fused engine touches every node twice with no intermediate store of
+// post-collision values — and the float32 mode halves the distribution
+// bytes moved on top of that. Rows reuse ImbalanceRow so the benchmark
+// persists under the same schema the drift comparator understands; the
+// lock columns are zero for the fused rows (it inherits the lock-free
+// spread path).
+func FusedThroughput(opt Options, reg *telemetry.Registry) (FusedResult, error) {
+	nx, ny, nz, steps, threads := opt.imbalanceGrid()
+	nodes := float64(nx) * float64(ny) * float64(nz)
+
+	if prev := runtime.GOMAXPROCS(0); prev < threads {
+		runtime.GOMAXPROCS(threads)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	res := FusedResult{
+		NX: nx, NY: ny, NZ: nz, CubeSize: 4, Threads: threads, Steps: steps,
+	}
+	for _, sh := range opt.twoSheets(nx, ny, nz) {
+		res.FiberNodes += sh.NumNodes()
+	}
+
+	publish := func(row ImbalanceRow) {
+		res.Rows = append(res.Rows, row)
+		if reg != nil {
+			reg.Gauge("lbmib_bench_mlups",
+				"Throughput per engine (million lattice updates per second).",
+				telemetry.L("engine", row.Engine)).Set(row.MLUPS)
+		}
+	}
+
+	coreCfg := func() core.Config {
+		return core.Config{
+			NX: nx, NY: ny, NZ: nz, Tau: 0.7,
+			BodyForce: [3]float64{2e-5, 0, 0},
+			Sheets:    opt.twoSheets(nx, ny, nz),
+		}
+	}
+
+	// --- omp baseline (three grid sweeps per step) ---
+	{
+		s, err := omp.NewSolver(omp.Config{Config: coreCfg(), Threads: threads})
+		if err != nil {
+			return res, fmt.Errorf("omp: %w", err)
+		}
+		regions := perfmon.NewRegionProfile(threads)
+		s.Regions = regions
+		t0 := time.Now()
+		s.Run(steps)
+		wall := time.Since(t0)
+		s.Close()
+		publish(ImbalanceRow{
+			Engine: "omp", Threads: threads,
+			Millis:         float64(wall.Milliseconds()),
+			MLUPS:          nodes * float64(steps) / wall.Seconds() / 1e6,
+			ImbalanceRatio: regions.ImbalanceRatio(),
+		})
+	}
+
+	// --- cube baseline (four phases per step) ---
+	{
+		s, err := cubesolver.NewSolver(cubesolver.Config{
+			NX: nx, NY: ny, NZ: nz, CubeSize: res.CubeSize, Threads: threads, Tau: 0.7,
+			BodyForce: [3]float64{2e-5, 0, 0},
+			Sheets:    opt.twoSheets(nx, ny, nz),
+			Dist:      par.Block,
+		})
+		if err != nil {
+			return res, fmt.Errorf("cube: %w", err)
+		}
+		phases := perfmon.NewPhaseProfile(threads)
+		s.Observer = phases
+		t0 := time.Now()
+		s.Run(steps)
+		wall := time.Since(t0)
+		s.Close()
+		publish(ImbalanceRow{
+			Engine: "cube", Threads: threads,
+			Millis:         float64(wall.Milliseconds()),
+			MLUPS:          nodes * float64(steps) / wall.Seconds() / 1e6,
+			ImbalanceRatio: phases.ImbalanceRatio(),
+		})
+	}
+
+	// --- fused engine, float64 and float32 storage ---
+	for _, f32 := range []bool{false, true} {
+		name := "fused"
+		if f32 {
+			name = "fused-f32"
+		}
+		s, err := fused.NewSolver(fused.Config{
+			Config: coreCfg(), Threads: threads, Float32: f32,
+		})
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", name, err)
+		}
+		phases := perfmon.NewPhaseProfile(threads)
+		s.Observer = phases
+		t0 := time.Now()
+		s.Run(steps)
+		wall := time.Since(t0)
+		s.Close()
+		row := ImbalanceRow{
+			Engine: name, Threads: threads,
+			Millis:         float64(wall.Milliseconds()),
+			MLUPS:          nodes * float64(steps) / wall.Seconds() / 1e6,
+			ImbalanceRatio: phases.ImbalanceRatio(),
+			PhaseImbalance: map[string]float64{},
+		}
+		for ph := cubesolver.Phase(1); ph <= cubesolver.NumPhases; ph++ {
+			if r := phases.PhaseImbalanceRatio(ph); r > 0 {
+				row.PhaseImbalance[ph.String()] = r
+			}
+		}
+		publish(row)
+	}
+
+	return res, nil
+}
+
+// BenchFromFused packages a fused-throughput run for persistence.
+func BenchFromFused(r FusedResult) BenchFile {
+	return BenchFile{
+		Schema: BenchSchema, Kind: "fused",
+		Grid: [3]int{r.NX, r.NY, r.NZ}, CubeSize: r.CubeSize,
+		Threads: r.Threads, Steps: r.Steps, FiberNodes: r.FiberNodes,
+		Results: r.Rows,
+	}
+}
+
+// Render formats the fused-engine comparison with the speedup of each
+// row over the cube baseline.
+func (r FusedResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fused single-sweep engine (%d×%d×%d fluid, %d fiber nodes, %d threads, %d steps)\n",
+		r.NX, r.NY, r.NZ, r.FiberNodes, r.Threads, r.Steps)
+	cube := 0.0
+	for _, row := range r.Rows {
+		if row.Engine == "cube" {
+			cube = row.MLUPS
+		}
+	}
+	b.WriteString(header(fmt.Sprintf("%-10s", "Engine"), "  MLUPS", "vs cube", "imbal(max/mean)"))
+	for _, row := range r.Rows {
+		speedup := "    -"
+		if cube > 0 {
+			speedup = fmt.Sprintf("%.2f×", row.MLUPS/cube)
+		}
+		fmt.Fprintf(&b, "%-10s  %6.2f  %7s  %15.3f\n",
+			row.Engine, row.MLUPS, speedup, row.ImbalanceRatio)
+	}
+	return b.String()
+}

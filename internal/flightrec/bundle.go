@@ -56,8 +56,11 @@ type RunSpec struct {
 	CubeSize    int        `json:"cubeSize,omitempty"`
 	// LockedSpread records the mutex-spreading ablation so a replayed run
 	// takes the same force-accumulation path as the original.
-	LockedSpread bool        `json:"lockedSpread,omitempty"`
-	Sheets       []SheetSpec `json:"sheets,omitempty"`
+	LockedSpread bool `json:"lockedSpread,omitempty"`
+	// Float32 records the fused engine's reduced-precision distribution
+	// storage so a replay uses the same arithmetic contract.
+	Float32 bool        `json:"float32,omitempty"`
+	Sheets  []SheetSpec `json:"sheets,omitempty"`
 }
 
 // Health is the manifest form of the watchdog's latched HealthError.

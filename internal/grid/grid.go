@@ -183,6 +183,19 @@ func (g *Grid) MaxVelocity() float64 {
 	return math.Sqrt(max)
 }
 
+// StreamDeltas returns, for each lattice direction, the flat-index offset
+// of the e_i neighbor of an interior node — the table the push-streaming
+// solvers use to skip coordinate arithmetic off the boundary, and that the
+// fused pull-streaming sweep negates to find the node it gathers from
+// (source of direction q is the node at index − StreamDeltas()[q]).
+func (g *Grid) StreamDeltas() [lattice.Q]int {
+	var d [lattice.Q]int
+	for i := 0; i < lattice.Q; i++ {
+		d[i] = (lattice.E[i][0]*g.NY+lattice.E[i][1])*g.NZ + lattice.E[i][2]
+	}
+	return d
+}
+
 // ClearForces zeroes the elastic force on every node. Solvers call it at
 // the start of each time step before kernel 4 re-spreads fiber forces.
 func (g *Grid) ClearForces() {

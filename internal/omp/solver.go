@@ -179,6 +179,14 @@ func (s *Solver) parallelFor(n int, body func(tid, lo, hi int)) {
 	}
 }
 
+// ParallelFor dispatches a loop of n iterations on the solver's worker
+// team under the configured schedule — the seam for engines layered on
+// this solver (internal/fused) to run their own parallel regions on the
+// same team the fiber kernels use. Under the Static schedule each thread
+// receives exactly one contiguous chunk, the property the fused sweep's
+// wavefront relies on.
+func (s *Solver) ParallelFor(n int, body func(tid, lo, hi int)) { s.parallelFor(n, body) }
+
 // Step advances one time step by running the nine kernels as parallel
 // regions in Algorithm 1 order.
 func (s *Solver) Step() {

@@ -12,7 +12,7 @@
 // interpolated fluid velocity (the nine kernels of the paper's
 // Algorithm 1).
 //
-// Four interchangeable engines implement the same physics:
+// Five interchangeable engines implement the same physics:
 //
 //   - Sequential — the reference implementation (paper Section III);
 //   - OpenMP — loop-level parallelism with a worker team and an implicit
@@ -22,7 +22,12 @@
 //     minimal number of global barriers per step (Section V);
 //   - TaskScheduled — the paper's future work, implemented: the cube
 //     solver with global barriers replaced by dynamic task scheduling
-//     (Section VIII).
+//     (Section VIII);
+//   - Fused — the memory-aware engine: collide, stream, boundary
+//     handling, macroscopic update and the buffer swap fused into one
+//     pull-streaming sweep so each node is touched once per step, with
+//     an optional float32 distribution mode (Config.Float32) halving
+//     memory traffic (internal/fused).
 //
 // The engines produce numerically identical results (to floating-point
 // accumulation order); the parallel ones differ only in speed and memory
@@ -42,6 +47,7 @@ import (
 	"lbmib/internal/cubesolver"
 	"lbmib/internal/fiber"
 	"lbmib/internal/flightrec"
+	"lbmib/internal/fused"
 	"lbmib/internal/grid"
 	"lbmib/internal/lattice"
 	"lbmib/internal/omp"
@@ -69,6 +75,12 @@ const (
 	// graph, allowing adjacent time steps to overlap. Results are bitwise
 	// identical to Sequential.
 	TaskScheduled
+	// Fused is the memory-aware engine: the four fluid kernels run as a
+	// single pull-streaming sweep over the slab grid (internal/fused).
+	// Float64 results are bitwise identical to OpenMP at any thread
+	// count; Config.Float32 selects the reduced-precision distribution
+	// storage with its relaxed (~1e-5) differential contract.
+	Fused
 )
 
 // String names the engine.
@@ -82,6 +94,8 @@ func (k SolverKind) String() string {
 		return "cube"
 	case TaskScheduled:
 		return "taskflow"
+	case Fused:
+		return "fused"
 	default:
 		return fmt.Sprintf("solver(%d)", int(k))
 	}
@@ -98,8 +112,10 @@ func ParseSolverKind(s string) (SolverKind, error) {
 		return CubeBased, nil
 	case "taskflow", "tasks", "task-scheduled":
 		return TaskScheduled, nil
+	case "fused":
+		return Fused, nil
 	default:
-		return 0, fmt.Errorf("lbmib: unknown solver %q (want seq, omp, cube or taskflow)", s)
+		return 0, fmt.Errorf("lbmib: unknown solver %q (want seq, omp, cube, taskflow or fused)", s)
 	}
 }
 
@@ -166,10 +182,17 @@ type Config struct {
 	// the grid dimensions must be divisible by it.
 	CubeSize int
 	// LockedSpread restores mutex-protected force spreading (per-owner
-	// locks for CubeBased, per-x-plane locks for OpenMP) instead of the
-	// lock-free per-thread accumulation + reduction default — kept for
-	// the locked-vs-lock-free ablation (lbmib-bench -exp spreading).
+	// locks for CubeBased, per-x-plane locks for OpenMP and Fused)
+	// instead of the lock-free per-thread accumulation + reduction
+	// default — kept for the locked-vs-lock-free ablation (lbmib-bench
+	// -exp spreading).
 	LockedSpread bool
+	// Float32 stores the velocity distributions as float32 with the
+	// Fused engine (arithmetic stays float64), halving the sweep's
+	// memory traffic at the cost of a relaxed (~1e-5) differential
+	// contract vs the float64 engines; macroscopic fields, checkpoints
+	// and snapshots stay float64. Rejected with any other Solver.
+	Float32 bool
 
 	// Telemetry, when non-nil, receives runtime metrics from the
 	// simulation: a step counter, an MLUPS gauge, per-step wall-time
@@ -358,6 +381,9 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.Threads < 1 {
 		cfg.Threads = 1
 	}
+	if cfg.Float32 && cfg.Solver != Fused {
+		return nil, fmt.Errorf("lbmib: Float32 requires the Fused engine, not %v", cfg.Solver)
+	}
 	sheets, err := buildSheets(cfg)
 	if err != nil {
 		return nil, err
@@ -430,6 +456,16 @@ func New(cfg Config) (*Simulation, error) {
 			return nil, err
 		}
 		sim.eng = &taskflowEngine{ts}
+	case Fused:
+		fs, err := fused.NewSolver(fused.Config{Config: coreCfg, Threads: cfg.Threads,
+			Float32: cfg.Float32, LockedSpread: cfg.LockedSpread})
+		if err != nil {
+			return nil, err
+		}
+		// The solver may clamp the requested thread count; the telemetry
+		// profiles below must be sized to the team that actually runs.
+		sim.cfg.Threads = fs.Threads
+		sim.eng = &fusedEngine{fs}
 	default:
 		return nil, fmt.Errorf("lbmib: unknown solver kind %d", cfg.Solver)
 	}
@@ -492,7 +528,7 @@ func (s *Simulation) initTelemetry() error {
 					"Wall-clock time per kernel execution (Algorithm 1).",
 					buckets, telemetry.L("kernel", k.String()))
 			}
-		case CubeBased, TaskScheduled:
+		case CubeBased, TaskScheduled, Fused:
 			for p := cubesolver.Phase(1); p <= cubesolver.NumPhases; p++ {
 				si.phaseHist[p] = r.Histogram("lbmib_phase_seconds",
 					"Wall-clock time per worker per loop nest (Algorithm 4).",
@@ -508,8 +544,8 @@ func (s *Simulation) initTelemetry() error {
 		case CubeBased:
 			si.phaseProf = perfmon.NewPhaseProfile(cfg.Threads)
 			si.cont = perfmon.NewContentionProfile(cfg.Threads, cfg.Threads) // lock owner = thread
-		case TaskScheduled:
-			// Barrier-free by design; only per-thread phase times apply.
+		case TaskScheduled, Fused:
+			// No timed barrier sites; only per-thread phase times apply.
 			si.phaseProf = perfmon.NewPhaseProfile(cfg.Threads)
 		}
 	}
@@ -545,6 +581,7 @@ func (s *Simulation) runSpec() flightrec.RunSpec {
 		Threads:      cfg.Threads,
 		CubeSize:     cfg.CubeSize,
 		LockedSpread: cfg.LockedSpread,
+		Float32:      cfg.Float32,
 	}
 	for _, sc := range append(append([]*SheetConfig(nil), cfg.Sheets...), cfg.Sheet) {
 		if sc == nil {
@@ -586,6 +623,7 @@ func ConfigFromRunSpec(spec flightrec.RunSpec) (Config, error) {
 		Threads:      spec.Threads,
 		CubeSize:     spec.CubeSize,
 		LockedSpread: spec.LockedSpread,
+		Float32:      spec.Float32,
 	}
 	if cfg.BoundaryX, err = bparse(spec.BoundaryX); err != nil {
 		return Config{}, err
@@ -1142,6 +1180,32 @@ func (e *cubeEngine) load(g *grid.Grid) error {
 	e.s.SeedForce()
 	return nil
 }
+
+type fusedEngine struct{ s *fused.Solver }
+
+func (e *fusedEngine) step()          { e.s.Step() }
+func (e *fusedEngine) run(n int)      { e.s.Run(n) }
+func (e *fusedEngine) stepCount() int { return e.s.StepCount() }
+
+// snapshot normalizes like the OpenMP engine's; in float32 mode it also
+// materializes the reduced-precision storage into the grid's DF fields.
+func (e *fusedEngine) snapshot() *grid.Grid { return e.s.Snapshot() }
+func (e *fusedEngine) velocityAt(x, y, z int) [3]float64 {
+	return e.s.Fluid.VelocityAt(x, y, z)
+}
+func (e *fusedEngine) densityAt(x, y, z int) float64 {
+	x, y, z = e.s.Fluid.Wrap(x, y, z)
+	return e.s.Fluid.At(x, y, z).Rho
+}
+func (e *fusedEngine) digest(d *grid.DigestGrid) error { return e.s.Digest(d) }
+func (e *fusedEngine) close()                          { e.s.Close() }
+func (e *fusedEngine) observe(si *stepInstr) {
+	e.s.Observer = si
+	// The fiber kernels inherited from the OpenMP-style solver support
+	// region accounting, but the fused step reports through the phase
+	// vocabulary instead; only the phase profile applies here.
+}
+func (e *fusedEngine) load(g *grid.Grid) error { return e.s.Load(g) }
 
 type taskflowEngine struct{ s *taskflow.Solver }
 

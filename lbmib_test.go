@@ -35,6 +35,7 @@ func TestNewValidation(t *testing.T) {
 		{NX: 8, NY: 8, NZ: 8, Solver: SolverKind(9)},
 		{NX: 8, NY: 8, NZ: 8, Sheet: &SheetConfig{NumFibers: 0, NodesPerFiber: 3}},
 		{NX: 10, NY: 8, NZ: 8, Solver: CubeBased, CubeSize: 4}, // indivisible
+		{NX: 8, NY: 8, NZ: 8, Solver: OpenMP, Float32: true},   // Float32 requires Fused
 	}
 	for i, c := range cases {
 		if _, err := New(c); err == nil {
@@ -46,7 +47,7 @@ func TestNewValidation(t *testing.T) {
 // Every engine name round-trips through its parser, and unknown names
 // are rejected with a hint.
 func TestSolverKindRoundTrip(t *testing.T) {
-	for _, k := range []SolverKind{Sequential, OpenMP, CubeBased, TaskScheduled} {
+	for _, k := range []SolverKind{Sequential, OpenMP, CubeBased, TaskScheduled, Fused} {
 		got, err := ParseSolverKind(k.String())
 		if err != nil {
 			t.Fatalf("ParseSolverKind(%q): %v", k.String(), err)
@@ -85,7 +86,8 @@ func TestDefaultTau(t *testing.T) {
 	}
 }
 
-// The facade's three engines must produce the same physics.
+// The facade's parallel engines must produce the same physics as the
+// sequential reference.
 func TestEnginesAgree(t *testing.T) {
 	const steps = 10
 	ref, err := New(baseCfg(Sequential))
@@ -96,7 +98,7 @@ func TestEnginesAgree(t *testing.T) {
 	ref.Run(steps)
 	refC, _ := ref.SheetCentroid()
 
-	for _, kind := range []SolverKind{OpenMP, CubeBased, TaskScheduled} {
+	for _, kind := range []SolverKind{OpenMP, CubeBased, TaskScheduled, Fused} {
 		s, err := New(baseCfg(kind))
 		if err != nil {
 			t.Fatal(err)

@@ -4,12 +4,14 @@
 # sinks are called from every worker thread; the cube solver owns the
 # P×Q×R barrier choreography; the omp and cube engines flip the shared
 # double-buffer parity bit from worker threads; soa swaps slices; the
-# taskflow engine schedules cubes over a dependency graph; the cluster
-# solver exchanges halos between ranks; perfmon profiles accumulate from
-# all workers; par's timed barrier wraps the team barrier), plus two
-# differential-testing smokes — a seeded cross-engine sweep and a short
-# native-fuzz run of the checkpoint decoder — and a load-imbalance bench
-# smoke that emits and validates a schema-versioned BENCH file.
+# taskflow engine schedules cubes over a dependency graph; the fused
+# engine's wavefront sweep overlaps collide and finalize planes across
+# one parallel region; the cluster solver exchanges halos between ranks;
+# perfmon profiles accumulate from all workers; par's timed barrier
+# wraps the team barrier), plus two differential-testing smokes — a
+# seeded cross-engine sweep and a short native-fuzz run of the
+# checkpoint decoder — and a load-imbalance bench smoke that emits and
+# validates a schema-versioned BENCH file.
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -28,10 +30,16 @@ go vet -stdmethods=false ./...
 scripts/lint ./...
 go test -run 'TestAnalyzersGoldenCorpus|TestLintSelfHost' ./internal/analysis/
 
-go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/... ./internal/perfmon/... ./internal/par/... ./internal/flightrec/...
+go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/fused/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/... ./internal/perfmon/... ./internal/par/... ./internal/flightrec/...
 
-# Cross-engine differential smoke: 10 seeded cases on every engine.
+# Cross-engine differential smoke: 10 seeded cases on every engine,
+# including the fused engine in both storage modes (float64 on the
+# bitwise/Tol contract, float32 on the relaxed Tol32 contract).
 go run ./cmd/lbmib-crosscheck -seeds 10
+
+# Fused-sweep fuzz smoke: arbitrary tiny configurations through five
+# fused steps must never panic or produce a non-finite field.
+go test -run '^$' -fuzz '^FuzzFusedStep$' -fuzztime 5s ./internal/fused/
 
 # Checkpoint decoder fuzz smoke: arbitrary bytes must never panic.
 go test -run '^$' -fuzz '^FuzzRestore$' -fuzztime 10s .
@@ -53,6 +61,14 @@ rm -f BENCH_smoke.json
 # free; slower-than-locked is a warning, like all drift here).
 go run ./cmd/lbmib-bench -exp spreading -out BENCH_smoke.json
 scripts/bench_compare BENCH_pr7.json BENCH_smoke.json
+rm -f BENCH_smoke.json
+
+# Fused-engine bench smoke: the single-sweep engine against the omp and
+# cube baselines, diffed against the committed baseline (warn-only
+# drift tripwire; same step count as the baseline so the comparator
+# diffs like against like).
+go run ./cmd/lbmib-bench -exp fused -steps 40 -out BENCH_smoke.json
+scripts/bench_compare BENCH_pr8.json BENCH_smoke.json
 rm -f BENCH_smoke.json
 
 # Flight-recorder forensics smoke: a run driven far past the lattice's
