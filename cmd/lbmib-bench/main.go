@@ -22,7 +22,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmib-bench: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, imbalance, spreading, fused, flightrec, copyswap, ablations or all")
+		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, imbalance, spreading, fused, flightrec, critpath, copyswap, ablations or all")
 		paper       = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
 		steps       = flag.Int("steps", 0, "override time steps for measured experiments")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and pprof on this address while benchmarks run")
@@ -158,6 +158,25 @@ func main() {
 			}
 			if path != "" {
 				if err := experiments.WriteBench(path, experiments.BenchFromFlightRec(r)); err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&b, "benchmark written to %s (schema %s)\n", path, experiments.BenchSchema)
+			}
+			return b.String(), nil
+		}},
+		{"critpath", func() (string, error) {
+			r, err := experiments.CritPathOverhead(opt, reg)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			b.WriteString(r.Render())
+			path := *out
+			if path == "" && *exp == "critpath" {
+				path = "BENCH_critpath.json"
+			}
+			if path != "" {
+				if err := experiments.WriteBench(path, experiments.BenchFromCritPath(r)); err != nil {
 					return "", err
 				}
 				fmt.Fprintf(&b, "benchmark written to %s (schema %s)\n", path, experiments.BenchSchema)

@@ -53,6 +53,9 @@ func main() {
 	// Spreading benchmarks also carry internal invariants (lock-free rows
 	// must be lock-event-free and no slower than their locked foils).
 	warns = append(warns, experiments.SpreadingInvariants(cur)...)
+	// Any benchmark row spending most of its thread-time at barriers
+	// deserves a critical-path investigation (warn-only tripwire).
+	warns = append(warns, experiments.BarrierShareInvariants(cur)...)
 	if len(warns) == 0 {
 		fmt.Printf("ok: %s vs %s within tolerance (%d engines, kind %q)\n",
 			flag.Arg(0), flag.Arg(1), len(cur.Results), cur.Kind)

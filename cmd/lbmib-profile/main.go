@@ -3,6 +3,15 @@
 // the paper's Table I, usable on any problem size.
 //
 //	lbmib-profile -nx 124 -ny 64 -nz 64 -sheet 52x52 -steps 500
+//
+// With -critpath it instead runs a parallel engine under the
+// critical-path profiler: per-step last-arriver attribution at every
+// barrier site, wait-cause classification (persistent straggler, data
+// imbalance, barrier-topology overhead), and a what-if table of
+// predicted MLUPS gains.
+//
+//	lbmib-profile -critpath -solver cube -threads 4 -nx 64 -ny 64 -nz 64 -steps 100
+//	lbmib-profile -critpath -solver cube -threads 4 -slow-tid 1 -slow-ms 5
 package main
 
 import (
@@ -37,6 +46,24 @@ func (f *fanObserver) KernelDone(step int, k core.Kernel, d time.Duration) {
 	}
 }
 
+// buildSheet parses FIBERSxNODES and centers the sheet in the domain's
+// yz cross-section, a quarter of the way downstream.
+func buildSheet(dims string, nx, ny, nz int) *fiber.Sheet {
+	if dims == "" {
+		return nil
+	}
+	var nf, nn int
+	if _, err := fmt.Sscanf(dims, "%dx%d", &nf, &nn); err != nil {
+		log.Fatalf("bad -sheet %q", dims)
+	}
+	w := float64(nf) * 0.4
+	return fiber.NewSheet(fiber.Params{
+		NumFibers: nf, NodesPerFiber: nn, Width: w, Height: w,
+		Origin: fiber.Vec3{float64(nx) / 4, float64(ny)/2 - w/2, float64(nz)/2 - w/2},
+		Ks:     0.05, Kb: 0.001,
+	})
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmib-profile: ")
@@ -50,21 +77,25 @@ func main() {
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and pprof on this address while profiling")
 		traceOut    = flag.String("trace", "", "write a Chrome trace-event timeline of the kernels to this file")
+
+		critMode = flag.Bool("critpath", false, "critical-path mode: profile a parallel engine's barrier sites instead of the sequential kernels")
+		solver   = flag.String("solver", "cube", "critpath engine: cube | fused | fused-f32 | omp")
+		threads  = flag.Int("threads", 4, "critpath worker threads")
+		cubeSize = flag.Int("cube", 4, "critpath cube edge length (cube engine)")
+		critOut  = flag.String("critpath-out", "", "write the critpath report as JSON to this file")
+		slowTid  = flag.Int("slow-tid", -1, "pin this thread as an artificial straggler (cube/fused; -1 = none)")
+		slowMS   = flag.Float64("slow-ms", 5, "per-step delay of the -slow-tid straggler, milliseconds")
 	)
 	flag.Parse()
 
-	var sheet *fiber.Sheet
-	if *sheetDims != "" {
-		var nf, nn int
-		if _, err := fmt.Sscanf(*sheetDims, "%dx%d", &nf, &nn); err != nil {
-			log.Fatalf("bad -sheet %q", *sheetDims)
-		}
-		w := float64(nf) * 0.4
-		sheet = fiber.NewSheet(fiber.Params{
-			NumFibers: nf, NodesPerFiber: nn, Width: w, Height: w,
-			Origin: fiber.Vec3{float64(*nx) / 4, float64(*ny)/2 - w/2, float64(*nz)/2 - w/2},
-			Ks:     0.05, Kb: 0.001,
-		})
+	sheet := buildSheet(*sheetDims, *nx, *ny, *nz)
+
+	if *critMode {
+		runCritPath(critPathOpts{
+			solver: *solver, threads: *threads, cube: *cubeSize,
+			out: *critOut, slowTid: *slowTid, slowMS: *slowMS,
+		}, *nx, *ny, *nz, *steps, *tau, sheet, *traceOut)
+		return
 	}
 
 	s, err := core.NewSolver(core.Config{

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lbmib"
+	"lbmib/internal/critpath"
 	"lbmib/internal/flightrec"
 	"lbmib/internal/telemetry"
 )
@@ -52,6 +53,7 @@ func main() {
 		jsonlOut     = flag.String("jsonl", "", "append one JSON line per step (step, mass, maxVel, kernelMillis, mlups)")
 		watch        = flag.Bool("watchdog", false, "check physics health every step; stop at the first unstable step")
 		flightrecDir = flag.String("flightrec", "", "keep an always-on flight recorder; write a post-mortem bundle to this directory if the run goes bad (implies -watchdog)")
+		critPath     = flag.Bool("critpath", false, "attribute each step's critical path (parallel engines): last arriver per barrier site, wait causes and a what-if table printed at exit; gauges appear under -metrics-addr")
 	)
 	flag.Parse()
 
@@ -67,6 +69,7 @@ func main() {
 		Threads:   *threads,
 		CubeSize:  *cubeSize,
 		Float32:   *float32Dist,
+		CritPath:  *critPath,
 	}
 	if *noSlipZ {
 		cfg.BoundaryZ = lbmib.NoSlip
@@ -182,6 +185,14 @@ func main() {
 	fmt.Printf("completed %d steps in %v (%.3f ms/step, %.2f MLUPS)\n",
 		*steps, elapsed.Round(time.Millisecond),
 		float64(elapsed.Milliseconds())/float64(*steps), mlups)
+
+	if *critPath {
+		if r, ok := sim.CritPathReport(); ok {
+			critpath.Render(os.Stdout, r)
+		} else {
+			log.Printf("-critpath has no effect on the %s engine", kind)
+		}
+	}
 
 	if *outDir != "" {
 		if err := writeSnapshots(sim, *outDir, *steps); err != nil {

@@ -1,0 +1,411 @@
+package critpath
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lbmib/internal/core"
+	"lbmib/internal/cubesolver"
+	"lbmib/internal/telemetry"
+)
+
+// feedStep feeds one synthetic cube-engine step into p: per-thread
+// phase slices (busy[tid] for the given phase, a fixed 1ms for the
+// others), then one crossing of each of the three minimal-schedule
+// barrier sites with lastTid arriving last and everyone else waiting
+// the gap to it.
+func feedStep(p *Profiler, step int, threads int, phase cubesolver.Phase, busy []time.Duration, lastTid int, crossing *uint64) {
+	for ph := cubesolver.Phase(1); ph <= cubesolver.NumPhases; ph++ {
+		for tid := 0; tid < threads; tid++ {
+			d := time.Millisecond
+			if ph == phase {
+				d = busy[tid]
+			}
+			p.PhaseDone(step, tid, ph, d)
+		}
+	}
+	var maxBusy time.Duration
+	for _, d := range busy {
+		if d > maxBusy {
+			maxBusy = d
+		}
+	}
+	for _, site := range []cubesolver.BarrierSite{
+		cubesolver.SiteAfterStream, cubesolver.SiteAfterVelocity, cubesolver.SiteEndOfStep,
+	} {
+		c := *crossing
+		*crossing++
+		rank := 0
+		for tid := 0; tid < threads; tid++ {
+			if tid == lastTid {
+				continue
+			}
+			p.BarrierArrive(site, tid, rank, c, maxBusy-busy[tid], false)
+			rank++
+		}
+		p.BarrierArrive(site, lastTid, threads-1, c, 0, true)
+	}
+}
+
+func siteByName(t *testing.T, r Report, name string) SiteReport {
+	t.Helper()
+	for _, sr := range r.Sites {
+		if sr.Site == name {
+			return sr
+		}
+	}
+	t.Fatalf("report has no site %q (sites: %+v)", name, r.Sites)
+	return SiteReport{}
+}
+
+// TestClassifyStragglerSynthetic pins the persistent-straggler class:
+// the same thread is always slow, always last, with waits far above
+// the topology cutoff.
+func TestClassifyStragglerSynthetic(t *testing.T) {
+	const threads, slow = 4, 2
+	p := New(Config{Engine: "cube", Threads: threads})
+	var crossing uint64
+	busy := []time.Duration{time.Millisecond, time.Millisecond, 3 * time.Millisecond, time.Millisecond}
+	for step := 0; step < 20; step++ {
+		feedStep(p, step, threads, cubesolver.PhaseCollideStream, busy, slow, &crossing)
+	}
+	r := p.Report()
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	sr := siteByName(t, r, "after_stream")
+	if sr.Cause != CauseStraggler {
+		t.Errorf("after_stream classified %q, want %q (site: %+v)", sr.Cause, CauseStraggler, sr)
+	}
+	if sr.DominantTid != slow {
+		t.Errorf("dominant tid %d, want %d", sr.DominantTid, slow)
+	}
+	if sr.DominantShare != 1 {
+		t.Errorf("dominant share %v, want 1 (same thread always last)", sr.DominantShare)
+	}
+	if sr.Crossings != 20 {
+		t.Errorf("crossings %d, want 20", sr.Crossings)
+	}
+}
+
+// TestClassifyRotatingImbalance pins the data-imbalance class: the
+// heavy thread rotates with ownership (so no single thread dominates),
+// but every step one thread is 2× slower — the per-step Σmax/Σmean
+// ratio the step ring preserves catches what cumulative busy totals
+// average away.
+func TestClassifyRotatingImbalance(t *testing.T) {
+	const threads = 4
+	p := New(Config{Engine: "cube", Threads: threads})
+	var crossing uint64
+	for step := 0; step < 20; step++ {
+		heavy := step % threads
+		busy := make([]time.Duration, threads)
+		for tid := range busy {
+			busy[tid] = time.Millisecond
+		}
+		busy[heavy] = 2 * time.Millisecond
+		feedStep(p, step, threads, cubesolver.PhaseCollideStream, busy, heavy, &crossing)
+	}
+	r := p.Report()
+	sr := siteByName(t, r, "after_stream")
+	if sr.Cause != CauseImbalance {
+		t.Errorf("after_stream classified %q, want %q (site: %+v)", sr.Cause, CauseImbalance, sr)
+	}
+	if sr.DominantShare >= StragglerShare {
+		t.Errorf("dominant share %v should stay below %v under rotation", sr.DominantShare, StragglerShare)
+	}
+	if sr.PhaseImbalance < ImbalanceRatio {
+		t.Errorf("phase imbalance %v, want ≥ %v", sr.PhaseImbalance, ImbalanceRatio)
+	}
+	// Cumulative busy is balanced under rotation — only the per-step
+	// ratio exposes it; pin that the correlated phase's ratio is ~1.6.
+	for _, pr := range r.Phases {
+		if pr.Phase == "collide_stream" && (pr.ImbalanceRatio < 1.4 || pr.ImbalanceRatio > 1.8) {
+			t.Errorf("collide_stream per-step imbalance %v, want ≈1.6", pr.ImbalanceRatio)
+		}
+	}
+}
+
+// TestClassifyTopology pins the barrier-topology class: near-uniform
+// arrivals (sub-cutoff waits) even though crossings are frequent.
+func TestClassifyTopology(t *testing.T) {
+	const threads = 4
+	p := New(Config{Engine: "cube", Threads: threads})
+	var crossing uint64
+	busy := []time.Duration{time.Millisecond, time.Millisecond + 2*time.Microsecond, time.Millisecond + time.Microsecond, time.Millisecond + 3*time.Microsecond}
+	for step := 0; step < 20; step++ {
+		feedStep(p, step, threads, cubesolver.PhaseCollideStream, busy, 3, &crossing)
+	}
+	sr := siteByName(t, p.Report(), "after_stream")
+	if sr.Cause != CauseTopology {
+		t.Errorf("after_stream classified %q, want %q (site: %+v)", sr.Cause, CauseTopology, sr)
+	}
+}
+
+// TestChainsAndStepRecord checks the per-step outputs: the crossing
+// ring reconstructs the last-arriver chain in release order, and
+// StepRecord names the dominant phase and thread.
+func TestChainsAndStepRecord(t *testing.T) {
+	const threads, slow = 2, 1
+	p := New(Config{Engine: "cube", Threads: threads})
+	var crossing uint64
+	busy := []time.Duration{time.Millisecond, 4 * time.Millisecond}
+	for step := 0; step < 5; step++ {
+		feedStep(p, step, threads, cubesolver.PhaseCollideStream, busy, slow, &crossing)
+	}
+	r := p.Report()
+	if len(r.Chains) == 0 {
+		t.Fatal("no chains reconstructed")
+	}
+	last := r.Chains[len(r.Chains)-1]
+	if len(last.Links) != 3 {
+		t.Fatalf("step %d chain has %d links, want 3 (%+v)", last.Step, len(last.Links), last.Links)
+	}
+	wantOrder := []string{"after_stream", "after_velocity", "end_of_step"}
+	for i, l := range last.Links {
+		if l.Site != wantOrder[i] {
+			t.Errorf("link %d is %s, want %s (release order)", i, l.Site, wantOrder[i])
+		}
+		if l.Tid != slow {
+			t.Errorf("link %d names tid %d, want %d", i, l.Tid, slow)
+		}
+	}
+	// The after_stream link should carry the straggler's 4ms slice from
+	// the timeline ring.
+	if got := last.Links[0].SliceMicros; got < 3500 || got > 4500 {
+		t.Errorf("after_stream slice %vµs, want ≈4000", got)
+	}
+
+	rec, ok := p.StepRecord(4)
+	if !ok {
+		t.Fatal("StepRecord(4) missed")
+	}
+	if rec.Phase != "collide_stream" || rec.Tid != slow {
+		t.Errorf("step record %+v, want phase collide_stream tid %d", rec, slow)
+	}
+	if rec.Seconds <= 0 {
+		t.Errorf("step record seconds %v, want > 0", rec.Seconds)
+	}
+	if _, ok := p.StepRecord(999); ok {
+		t.Error("StepRecord(999) hit an absent step")
+	}
+}
+
+// TestStragglerEndToEnd reuses the PR 4 pinned-slow-thread pattern on
+// the real cube solver: a PhaseObserver sleeps on one thread's
+// collide_stream completion, making that thread the persistent last
+// arriver at the following barrier — the profiler must name it.
+func TestStragglerEndToEnd(t *testing.T) {
+	const (
+		threads = 4
+		slow    = 1
+		steps   = 6
+	)
+	p := New(Config{Engine: "cube", Threads: threads})
+	s, err := cubesolver.NewSolver(cubesolver.Config{
+		NX: 16, NY: 8, NZ: 8, CubeSize: 4,
+		Threads: threads, Tau: 0.8,
+		BodyForce: [3]float64{1e-6, 0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Arrivals = p
+	s.Observer = phaseFan{p, slowPhase{slow, cubesolver.PhaseCollideStream, 5 * time.Millisecond}}
+	s.Run(steps)
+
+	r := p.Report()
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	sr := siteByName(t, r, "after_stream")
+	if sr.Crossings != steps {
+		t.Fatalf("after_stream crossed %d times, want %d", sr.Crossings, steps)
+	}
+	if sr.Cause != CauseStraggler {
+		t.Errorf("after_stream classified %q, want %q (site: %+v)", sr.Cause, CauseStraggler, sr)
+	}
+	if sr.DominantTid != slow {
+		t.Errorf("dominant tid %d, want pinned slow thread %d", sr.DominantTid, slow)
+	}
+}
+
+// phaseFan forwards PhaseDone to several observers in order.
+type phaseFan []cubesolver.PhaseObserver
+
+func (f phaseFan) PhaseDone(step, tid int, p cubesolver.Phase, d time.Duration) {
+	for _, o := range f {
+		o.PhaseDone(step, tid, p, d)
+	}
+}
+
+// slowPhase sleeps on one thread after one phase — the injection runs
+// on the worker's own goroutine, delaying its next barrier arrival.
+type slowPhase struct {
+	tid   int
+	phase cubesolver.Phase
+	delay time.Duration
+}
+
+func (s slowPhase) PhaseDone(step, tid int, p cubesolver.Phase, d time.Duration) {
+	if tid == s.tid && p == s.phase {
+		time.Sleep(s.delay)
+	}
+}
+
+// TestRegionMode checks the omp vocabulary: RegionDone feeds both the
+// kernel segments and synthesized per-region join sites, with the
+// busiest thread as last arriver.
+func TestRegionMode(t *testing.T) {
+	const threads = 4
+	p := New(Config{Engine: "omp", Threads: threads})
+	busy := []time.Duration{time.Millisecond, time.Millisecond, time.Millisecond, 3 * time.Millisecond}
+	for step := 0; step < 10; step++ {
+		for k := core.Kernel(1); k <= core.NumKernels; k++ {
+			p.RegionDone(step, k, busy)
+		}
+	}
+	r := p.Report()
+	if err := Validate(r); err != nil {
+		t.Fatal(err)
+	}
+	sr := siteByName(t, r, "region_compute_fluid_collision")
+	if sr.Cause != CauseStraggler || sr.DominantTid != 3 {
+		t.Errorf("collision region: cause %q tid %d, want %q tid 3", sr.Cause, sr.DominantTid, CauseStraggler)
+	}
+	if len(r.Chains) == 0 {
+		t.Error("region mode reconstructed no chains")
+	}
+	// Phase-vocabulary input must be ignored in region mode.
+	before := p.Report()
+	p.PhaseDone(0, 0, cubesolver.PhaseCollideStream, time.Second)
+	after := p.Report()
+	for i := range after.Phases {
+		if after.Phases[i].CriticalSeconds != before.Phases[i].CriticalSeconds {
+			t.Error("PhaseDone leaked into region mode")
+		}
+	}
+}
+
+// TestReportJSONRoundTrip pins the schema contract: WriteJSON output
+// decodes into an equal-enough report that Validate accepts.
+func TestReportJSONRoundTrip(t *testing.T) {
+	p := New(Config{Engine: "cube", Threads: 2})
+	var crossing uint64
+	feedStep(p, 0, 2, cubesolver.PhaseCollideStream, []time.Duration{time.Millisecond, 2 * time.Millisecond}, 1, &crossing)
+	r := p.Report()
+	AddWhatIf(&r, 16*16*16)
+	if len(r.WhatIf) == 0 {
+		t.Fatal("AddWhatIf produced no scenarios")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema": "lbmib-critpath/v1"`) {
+		t.Error("JSON lacks the schema marker verify.sh greps for")
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(back); err != nil {
+		t.Fatal(err)
+	}
+	var render bytes.Buffer
+	Render(&render, back)
+	for _, want := range []string{"barrier site", "what-if", "after_stream"} {
+		if !strings.Contains(render.String(), want) {
+			t.Errorf("rendered report lacks %q", want)
+		}
+	}
+}
+
+// TestPublish checks the two metric families appear with the right
+// labels.
+func TestPublish(t *testing.T) {
+	p := New(Config{Engine: "cube", Threads: 2})
+	var crossing uint64
+	feedStep(p, 0, 2, cubesolver.PhaseCollideStream, []time.Duration{time.Millisecond, 2 * time.Millisecond}, 1, &crossing)
+	reg := telemetry.NewRegistry()
+	p.Publish(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lbmib_critical_path_seconds{engine="cube",phase="collide_stream"}`,
+		`lbmib_last_arriver_total{engine="cube",site="after_stream",tid="1"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %s\n%s", want, out)
+		}
+	}
+	p.Publish(nil) // nil registry is a no-op, not a panic
+}
+
+// TestProfilerRace hammers the profiler from 8 threads — phase slices,
+// barrier arrivals, and concurrent Report/StepRecord/Publish readers —
+// under -race this proves the ring and accumulator discipline.
+func TestProfilerRace(t *testing.T) {
+	const threads = 8
+	p := New(Config{Engine: "cube", Threads: threads, Window: 8, Tracer: telemetry.NewTracer()})
+	var wg sync.WaitGroup
+	var crossing atomic64
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for step := 0; step < 200; step++ {
+				for ph := cubesolver.Phase(1); ph <= cubesolver.NumPhases; ph++ {
+					p.PhaseDone(step, tid, ph, time.Microsecond)
+				}
+				c := crossing.next()
+				p.BarrierArrive(cubesolver.SiteEndOfStep, tid, tid, c, 200*time.Microsecond, tid == step%threads)
+			}
+		}(tid)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		reg := telemetry.NewRegistry()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r := p.Report()
+			if err := Validate(r); err != nil {
+				t.Error(err)
+			}
+			p.StepRecord(100)
+			p.Publish(reg)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+}
+
+// atomic64 is a tiny helper handing out unique crossing ids.
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) next() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v := a.v
+	a.v++
+	return v
+}

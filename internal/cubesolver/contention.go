@@ -66,6 +66,18 @@ type ContentionObserver interface {
 	LockWait(waiter, owner int, wait time.Duration, contended, reacquire bool)
 }
 
+// BarrierArrivalObserver receives full arrival attribution for every
+// instrumented barrier crossing: which thread arrived in which order
+// (rank 0 = first), the crossing number (unique per release of the
+// solver's barrier), the thread's wait, and whether it was the last
+// arriver — the thread the whole team waited for. The critical-path
+// profiler reconstructs per-step last-arriver chains from exactly these
+// events. Callbacks arrive concurrently from all worker threads;
+// implementations must be safe for concurrent use.
+type BarrierArrivalObserver interface {
+	BarrierArrive(site BarrierSite, tid, rank int, crossing uint64, wait time.Duration, last bool)
+}
+
 // CubeWorkObserver samples per-cube work: the wall-clock time thread tid
 // spent processing cube c in phase p. The cube-indexed accumulation is
 // what the load heatmap renders — which cubes are expensive, and which
@@ -74,11 +86,12 @@ type CubeWorkObserver interface {
 	CubeWork(tid, c int, p Phase, d time.Duration)
 }
 
-// waitBarrier is the instrumented barrier: a plain Barrier.Wait when no
-// ContentionObserver is attached (the zero-overhead default), a timed
-// wait attributed to (site, tid) otherwise.
+// waitBarrier is the instrumented barrier: a plain Barrier.Wait when
+// neither a ContentionObserver nor a BarrierArrivalObserver is attached
+// (the zero-overhead default), a timed wait attributed to (site, tid)
+// otherwise.
 func (s *Solver) waitBarrier(site BarrierSite, tid int) {
-	if s.Contention == nil {
+	if s.Contention == nil && s.Arrivals == nil {
 		s.barrier.Wait()
 		return
 	}
@@ -96,6 +109,18 @@ func (s *Solver) recordBarrierWait(site, tid int, wait time.Duration) {
 		return
 	}
 	obs.BarrierWait(BarrierSite(site), tid, wait)
+}
+
+// recordBarrierArrive adapts par.BarrierArriveFunc to the observer; like
+// recordBarrierWait it is bound once at construction, and the field is
+// re-read and guarded so detaching the observer between steps degrades
+// to a dropped sample instead of a panic.
+func (s *Solver) recordBarrierArrive(site, tid, rank int, crossing uint64, wait time.Duration, last bool) {
+	obs := s.Arrivals
+	if obs == nil {
+		return
+	}
+	obs.BarrierArrive(BarrierSite(site), tid, rank, crossing, wait, last)
 }
 
 // lockBlockHook, when non-nil, is invoked after a TryLock found the lock

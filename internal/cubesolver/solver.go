@@ -150,6 +150,12 @@ type Solver struct {
 	Contention ContentionObserver
 	CubeWork   CubeWorkObserver
 
+	// Arrivals, when non-nil, receives full arrival attribution (rank,
+	// crossing, last-arriver identity) for every barrier crossing — the
+	// feed of the critical-path profiler. Defaults to nil with the same
+	// zero-overhead contract as Contention.
+	Arrivals BarrierArrivalObserver
+
 	// bc resolves boundary streaming with the body shared across engines
 	// (core.StreamBC), so the cube solver cannot drift from the reference.
 	bc core.StreamBC
@@ -213,7 +219,7 @@ func NewSolver(cfg Config) (*Solver, error) {
 		barrier:    par.NewBarrier(cfg.Threads),
 		ownerLocks: make([]sync.Mutex, cfg.Threads),
 	}
-	s.timedBarrier = par.TimedBarrier{B: s.barrier, Rec: s.recordBarrierWait}
+	s.timedBarrier = par.TimedBarrier{B: s.barrier, Rec: s.recordBarrierWait, Arrive: s.recordBarrierArrive}
 	if !cfg.LockedSpread {
 		nc := layout.CX * layout.CY * layout.CZ
 		s.accums = make([]*spreadAccum, cfg.Threads)

@@ -151,6 +151,28 @@ func CompareBench(base, cur BenchFile, tol BenchTolerance) []string {
 	return warns
 }
 
+// BarrierShareTripwire is the warn-only barrier-wait-share ceiling: a
+// row spending more of its thread-time waiting than this deserves a
+// critical-path investigation.
+const BarrierShareTripwire = 0.60
+
+// BarrierShareInvariants scans any benchmark's rows for pathological
+// barrier-wait shares and returns warn-only findings pointing at the
+// critical-path profiler. A share above BarrierShareTripwire means the
+// engine spends most of its thread-time waiting — usually a straggler
+// or a topology problem the what-if estimator can rank fixes for.
+func BarrierShareInvariants(b BenchFile) []string {
+	var warns []string
+	for _, r := range b.Results {
+		if r.BarrierWaitShare > BarrierShareTripwire {
+			warns = append(warns, fmt.Sprintf(
+				"%s: barrier-wait share %.0f%% exceeds %.0f%% — run `lbmib-profile -critpath -solver %s -threads %d` to attribute it",
+				r.Engine, 100*r.BarrierWaitShare, 100*BarrierShareTripwire, r.Engine, r.Threads))
+		}
+	}
+	return warns
+}
+
 // SpreadingInvariants checks the internal invariants of a "spreading"
 // benchmark (see experiments.Spreading): lock-free rows must record zero
 // lock events — any acquisition there means the lock path leaked back in

@@ -145,6 +145,23 @@ func TestSpreadingInvariants(t *testing.T) {
 	}
 }
 
+func TestBarrierShareInvariants(t *testing.T) {
+	// Ordinary shares pass quietly.
+	b := sampleBench()
+	if warns := BarrierShareInvariants(b); len(warns) != 0 {
+		t.Fatalf("clean file warned: %v", warns)
+	}
+	// A row spending most of its thread-time waiting trips the wire and
+	// points at the critical-path profiler.
+	b.Results[0].BarrierWaitShare = 0.75
+	warns := BarrierShareInvariants(b)
+	if len(warns) != 1 ||
+		!strings.Contains(warns[0], b.Results[0].Engine) ||
+		!strings.Contains(warns[0], "lbmib-profile -critpath") {
+		t.Fatalf("want one critpath-pointing warning, got %v", warns)
+	}
+}
+
 // A short real run of the spreading experiment: four rows, locked rows
 // with lock traffic, lock-free rows with none, and a persistable file.
 func TestSpreadingExperiment(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"lbmib/internal/core"
 	"lbmib/internal/cubesolver"
 	"lbmib/internal/fiber"
+	"lbmib/internal/fused"
 	"lbmib/internal/omp"
 	"lbmib/internal/par"
 	"lbmib/internal/perfmon"
@@ -216,6 +217,54 @@ func LoadImbalance(opt Options, reg *telemetry.Registry) (ImbalanceResult, error
 		}
 		cont.Publish(reg, "cube")
 		res.Heatmap = heat
+		publish(row)
+	}
+
+	// --- fused engines ---
+	// The fused sweep's two barrier sites (mid-sweep wavefront join and
+	// end-of-sweep join) feed the same wait attribution as the cube
+	// engine's six, so the comparison covers the memory-aware engine too.
+	for _, f32 := range []bool{false, true} {
+		name := "fused"
+		if f32 {
+			name = "fused-f32"
+		}
+		s, err := fused.NewSolver(fused.Config{
+			Config: core.Config{
+				NX: nx, NY: ny, NZ: nz, Tau: 0.7,
+				BodyForce: [3]float64{2e-5, 0, 0},
+				Sheets:    opt.twoSheets(nx, ny, nz),
+			},
+			Threads: threads, Float32: f32,
+		})
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", name, err)
+		}
+		phases := perfmon.NewPhaseProfile(threads)
+		cont := perfmon.NewContentionProfile(threads, threads)
+		s.Observer = phases
+		s.Contention = cont
+		t0 := time.Now()
+		s.Run(steps)
+		wall := time.Since(t0)
+		s.Close()
+
+		threadTime := float64(threads) * wall.Seconds()
+		row := ImbalanceRow{
+			Engine: name, Threads: threads,
+			Millis:           float64(wall.Milliseconds()),
+			MLUPS:            nodes * float64(steps) / wall.Seconds() / 1e6,
+			ImbalanceRatio:   phases.ImbalanceRatio(),
+			BarrierWaitShare: cont.BarrierWaitTotal().Seconds() / threadTime,
+			LockWaitShare:    cont.LockWaitTotal().Seconds() / threadTime,
+			PhaseImbalance:   map[string]float64{},
+		}
+		for ph := cubesolver.Phase(1); ph <= cubesolver.NumPhases; ph++ {
+			if r := phases.PhaseImbalanceRatio(ph); r > 0 {
+				row.PhaseImbalance[ph.String()] = r
+			}
+		}
+		cont.Publish(reg, name)
 		publish(row)
 	}
 

@@ -23,6 +23,9 @@ const (
 	CheckpointFile   = "checkpoint.bin"
 	TraceFile        = "trace.json"
 	LocalizationFile = "localization.json"
+	// CritPathFile is the critical-path profiler's report, present when
+	// the facade runs with both the flight recorder and Config.CritPath.
+	CritPathFile = "critpath.json"
 )
 
 // SheetSpec mirrors lbmib.SheetConfig so a bundle can rebuild the
@@ -183,6 +186,19 @@ func (r *Recorder) WriteBundle(reason string, herr *telemetry.HealthError) (stri
 			return "", fmt.Errorf("flightrec: checkpoint: %w", err)
 		}
 		files = append(files, CheckpointFile)
+	}
+
+	// Auxiliary sections are best effort: a failing provider must not
+	// cost the core bundle evidence.
+	for _, name := range r.auxNames() {
+		data, err := r.auxData(name)
+		if err != nil || data == nil {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(r.cfg.Dir, name), data, 0o644); err != nil {
+			continue
+		}
+		files = append(files, name)
 	}
 
 	version := "(devel)"

@@ -119,6 +119,48 @@ type Recorder struct {
 	bundleMu   sync.Mutex
 	bundleDir  string
 	bundleDone bool
+
+	auxMu sync.Mutex
+	aux   map[string]func() ([]byte, error)
+}
+
+// SetAux registers a named auxiliary bundle section: when a bundle is
+// written, fn is called and its bytes land next to the core evidence
+// under the given file name (also listed in the manifest). The facade
+// wires the critical-path profiler's report in as CritPathFile this
+// way. Providers run at bundle-write time — after the failure — and
+// are best effort: an error drops the section, never the bundle.
+func (r *Recorder) SetAux(name string, fn func() ([]byte, error)) {
+	r.auxMu.Lock()
+	if r.aux == nil {
+		r.aux = map[string]func() ([]byte, error){}
+	}
+	r.aux[name] = fn
+	r.auxMu.Unlock()
+}
+
+// auxNames returns the registered section names, sorted for a
+// deterministic manifest.
+func (r *Recorder) auxNames() []string {
+	r.auxMu.Lock()
+	defer r.auxMu.Unlock()
+	names := make([]string, 0, len(r.aux))
+	for n := range r.aux {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// auxData runs one registered provider.
+func (r *Recorder) auxData(name string) ([]byte, error) {
+	r.auxMu.Lock()
+	fn := r.aux[name]
+	r.auxMu.Unlock()
+	if fn == nil {
+		return nil, nil
+	}
+	return fn()
 }
 
 // New builds a recorder; zero config fields take the documented

@@ -35,16 +35,19 @@
 // # The wavefront sweep
 //
 // Pulling requires every upwind neighbor's post-collision value, so
-// collision and gathering cannot naively fuse. The sweep runs as two
-// parallel regions over x-slabs (Static schedule, one contiguous chunk
-// per thread — forced, the wavefront depends on it):
+// collision and gathering cannot naively fuse. The sweep runs as one
+// parallel region over x-slabs (Static schedule, one contiguous chunk
+// per thread — forced, the wavefront depends on it) with an explicit
+// mid-sweep barrier:
 //
-//	region A (per thread, chunk [lo, hi)):
-//	    for x = lo .. hi−1:
-//	        collide plane x in place on the present buffer
-//	        if x ≥ lo+2: finalize plane x−1   // pull + moments, cache-hot
-//	region B (after the implicit barrier):
-//	    finalize planes lo and hi−1           // need neighbor chunks' planes
+//	one region (per thread, chunk [lo, hi)):
+//	    region A:
+//	        for x = lo .. hi−1:
+//	            collide plane x in place on the present buffer
+//	            if x ≥ lo+2: finalize plane x−1  // pull + moments, cache-hot
+//	    barrier                                  // all chunks collided
+//	    region B:
+//	        finalize planes lo and hi−1          // need neighbor chunks' planes
 //	swap buffer parity
 //
 // Finalizing plane x−1 reads collided planes x−2..x, all inside the
@@ -56,6 +59,15 @@
 // node's moments from exactly the values it stored (the half-force Guo
 // correction included) and resets the node's force to the uniform body
 // force, the same fold of kernel 7 the OpenMP-style solver uses.
+//
+// The mid-sweep barrier is the engine's own par.Barrier (the team's
+// implicit region join used to separate A and B when they were two
+// dispatches; the explicit barrier keeps the identical ordering with one
+// dispatch fewer) and is instrumentable: with a ContentionObserver or
+// BarrierArrivalObserver attached, it and an extra end-of-sweep barrier
+// report per-thread waits under the cube engine's site vocabulary
+// (SiteAfterStream and SiteEndOfStep), which is what lets the
+// load-imbalance bench and the critical-path profiler cover this engine.
 //
 // # Float32 storage
 //
@@ -86,6 +98,7 @@ import (
 	"lbmib/internal/grid"
 	"lbmib/internal/lattice"
 	"lbmib/internal/omp"
+	"lbmib/internal/par"
 )
 
 // Config configures the fused engine.
@@ -121,9 +134,23 @@ type Solver struct {
 	// drive.
 	Observer cubesolver.PhaseObserver
 
-	bc          core.StreamBC
-	streamDelta [lattice.Q]int
-	d32         *grid.Dist32 // non-nil iff Float32
+	// Contention, when non-nil, receives per-thread barrier waits for the
+	// sweep's two barrier sites, reported under the cube engine's site
+	// vocabulary: the mid-sweep wavefront barrier as SiteAfterStream and
+	// the end-of-sweep barrier as SiteEndOfStep. Arrivals, when non-nil,
+	// additionally receives arrival ranks, crossing numbers, and
+	// last-arriver identity — the critical-path profiler's feed. Both
+	// default to nil: the uninstrumented sweep takes plain barrier waits
+	// and skips the end-of-sweep site entirely (the region's implicit
+	// join already orders it), so attaching neither costs nothing.
+	Contention cubesolver.ContentionObserver
+	Arrivals   cubesolver.BarrierArrivalObserver
+
+	bc           core.StreamBC
+	streamDelta  [lattice.Q]int
+	d32          *grid.Dist32 // non-nil iff Float32
+	barrier      *par.Barrier
+	timedBarrier par.TimedBarrier
 }
 
 // NewSolver builds the fused engine and starts its worker team. Threads
@@ -148,7 +175,9 @@ func NewSolver(cfg Config) (*Solver, error) {
 			LidVelocity: cfg.LidVelocity,
 		},
 		streamDelta: base.Fluid.StreamDeltas(),
+		barrier:     par.NewBarrier(base.Threads),
 	}
+	s.timedBarrier = par.TimedBarrier{B: s.barrier, Rec: s.recordBarrierWait, Arrive: s.recordBarrierArrive}
 	if cfg.Float32 {
 		s.d32 = grid.NewDist32(cfg.NX, cfg.NY, cfg.NZ)
 		if err := s.d32.FromGrid(s.Fluid); err != nil {
@@ -211,6 +240,12 @@ func (s *Solver) Run(n int) {
 }
 
 // sweep is the fused collide+stream+update+swap pass (see package doc).
+// It is one parallel region: region A (collide + interior finalize),
+// the explicit wavefront barrier, region B (chunk-edge finalize), and —
+// only when barrier instrumentation is attached — an end-of-sweep
+// barrier measuring the wait the region's implicit join would otherwise
+// hide. Both instrumentation conditions are thread-invariant, so every
+// worker executes the same barrier sequence.
 func (s *Solver) sweep() {
 	g := s.Fluid
 	var cur int
@@ -222,6 +257,7 @@ func (s *Solver) sweep() {
 	next := 1 - cur
 	tau, body := s.Tau, s.BodyForce
 	obs, step := s.Observer, s.StepCount()
+	measureJoin := s.Contention != nil || s.Arrivals != nil
 	s.ParallelFor(g.NX, func(tid, lo, hi int) {
 		var t0 time.Time
 		if obs != nil {
@@ -236,9 +272,7 @@ func (s *Solver) sweep() {
 		if obs != nil {
 			obs.PhaseDone(step, tid, cubesolver.PhaseCollideStream, time.Since(t0))
 		}
-	})
-	s.ParallelFor(g.NX, func(tid, lo, hi int) {
-		var t0 time.Time
+		s.waitBarrier(cubesolver.SiteAfterStream, tid)
 		if obs != nil {
 			t0 = time.Now()
 		}
@@ -249,12 +283,47 @@ func (s *Solver) sweep() {
 		if obs != nil {
 			obs.PhaseDone(step, tid, cubesolver.PhaseUpdateVelocity, time.Since(t0))
 		}
+		if measureJoin {
+			s.waitBarrier(cubesolver.SiteEndOfStep, tid)
+		}
 	})
 	if s.Float32 {
 		s.d32.Swap()
 	} else {
 		g.Swap()
 	}
+}
+
+// waitBarrier is the sweep's instrumented barrier: a plain Barrier.Wait
+// when neither observer is attached, a timed wait attributed to
+// (site, tid) otherwise — the same contract as the cube solver's.
+func (s *Solver) waitBarrier(site cubesolver.BarrierSite, tid int) {
+	if s.Contention == nil && s.Arrivals == nil {
+		s.barrier.Wait()
+		return
+	}
+	s.timedBarrier.Wait(int(site), tid)
+}
+
+// recordBarrierWait adapts par.BarrierWaitFunc to the observer; bound
+// once at construction. The field is re-read and guarded so detaching
+// the observer between steps drops the sample instead of panicking.
+func (s *Solver) recordBarrierWait(site, tid int, wait time.Duration) {
+	obs := s.Contention
+	if obs == nil {
+		return
+	}
+	obs.BarrierWait(cubesolver.BarrierSite(site), tid, wait)
+}
+
+// recordBarrierArrive adapts par.BarrierArriveFunc to the observer with
+// the same re-read-and-guard contract.
+func (s *Solver) recordBarrierArrive(site, tid, rank int, crossing uint64, wait time.Duration, last bool) {
+	obs := s.Arrivals
+	if obs == nil {
+		return
+	}
+	obs.BarrierArrive(cubesolver.BarrierSite(site), tid, rank, crossing, wait, last)
 }
 
 // collidePlane applies the BGK+Guo collision in place to every node of

@@ -183,3 +183,34 @@ func (b *Barrier) Wait() {
 	}
 	b.mu.Unlock()
 }
+
+// WaitRank is Wait with arrival attribution: it additionally returns
+// this participant's arrival rank (0 = first to arrive, n−1 = last),
+// the crossing number (the barrier's phase counter, monotonically
+// increasing and shared with plain Wait calls on the same barrier), and
+// whether this participant was the releaser. The last arriver is the
+// thread everyone else waited for — critical-path reconstruction hangs
+// off exactly this identity.
+func (b *Barrier) WaitRank() (rank int, crossing uint64, last bool) {
+	b.mu.Lock()
+	crossing = b.phase
+	if b.n == 1 {
+		b.phase++
+		b.mu.Unlock()
+		return 0, crossing, true
+	}
+	rank = b.count
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return rank, crossing, true
+	}
+	for crossing == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return rank, crossing, false
+}

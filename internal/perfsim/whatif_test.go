@@ -1,0 +1,74 @@
+package perfsim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWhatIfScenarios pins the estimator's arithmetic on a hand-checked
+// profile: two phases on 2 threads, phase A imbalanced (10ms vs 6ms),
+// phase B balanced (4ms each), 1ms sync per barrier.
+func TestWhatIfScenarios(t *testing.T) {
+	const nodes = 1e6
+	phases := []MeasuredPhase{
+		{Name: "A", Busy: []float64{10e-3, 6e-3}},
+		{Name: "B", Busy: []float64{4e-3, 4e-3}},
+	}
+	out := WhatIf(nodes, 2, phases, 1e-3)
+	if len(out) != 4 {
+		t.Fatalf("%d scenarios, want 4 (measured, balance, 1 merge, threads)", len(out))
+	}
+	byName := map[string]WhatIfScenario{}
+	for _, s := range out {
+		byName[s.Name] = s
+	}
+
+	// measured: 10 + 4 + 2×1 = 16ms, speedup 0, leads the list.
+	m := out[0]
+	if m.Name != "measured" {
+		t.Fatalf("first scenario is %q, want measured", m.Name)
+	}
+	if !close(m.StepSeconds, 16e-3) || m.SpeedupPct != 0 {
+		t.Errorf("measured = %+v, want 16ms at 0%%", m)
+	}
+	if !close(m.MLUPS, nodes/16e-3/1e6) {
+		t.Errorf("measured MLUPS %v", m.MLUPS)
+	}
+
+	// perfect balance: 8 + 4 + 2 = 14ms.
+	if s := byName["perfect balance"]; !close(s.StepSeconds, 14e-3) {
+		t.Errorf("perfect balance = %+v, want 14ms", s)
+	}
+	// merge A+B: max(10+4, 6+4) + 1×1 = 15ms.
+	if s := byName["merge barrier after A"]; !close(s.StepSeconds, 15e-3) {
+		t.Errorf("merge = %+v, want 15ms", s)
+	}
+	// threads ×2: A mean 8→4 × ratio 1.25 = 5; B mean 4→2 × 1 = 2; +2 sync = 9ms.
+	if s := byName["threads ×2 (2→4)"]; !close(s.StepSeconds, 9e-3) {
+		t.Errorf("threads ×2 = %+v, want 9ms", s)
+	}
+
+	// Alternatives ranked by speedup, best first.
+	for i := 2; i < len(out); i++ {
+		if out[i].SpeedupPct > out[i-1].SpeedupPct {
+			t.Errorf("scenario %d (%s, %.1f%%) outranks %d (%s, %.1f%%)",
+				i, out[i].Name, out[i].SpeedupPct, i-1, out[i-1].Name, out[i-1].SpeedupPct)
+		}
+	}
+}
+
+// TestWhatIfDegenerate checks empty and zero inputs stay nil instead of
+// dividing by zero.
+func TestWhatIfDegenerate(t *testing.T) {
+	if out := WhatIf(1e6, 2, nil, 1e-3); out != nil {
+		t.Errorf("no phases → %v, want nil", out)
+	}
+	if out := WhatIf(1e6, 0, []MeasuredPhase{{Name: "A", Busy: []float64{1}}}, 0); out != nil {
+		t.Errorf("zero threads → %v, want nil", out)
+	}
+	if out := WhatIf(1e6, 2, []MeasuredPhase{{Name: "A", Busy: []float64{0, 0}}}, 0); out != nil {
+		t.Errorf("zero profile → %v, want nil", out)
+	}
+}
+
+func close(a, b float64) bool { return math.Abs(a-b) <= 1e-9+1e-9*math.Abs(b) }

@@ -31,9 +31,22 @@ type StepRecord struct {
 	// LockWaitShare is the fraction of total thread-time spent blocked on
 	// spreading locks so far.
 	LockWaitShare float64 `json:"lockWaitShare,omitempty"`
+	// CritPath names the step's critical path when the critical-path
+	// profiler is enabled (absent otherwise).
+	CritPath *CritPathStep `json:"critpath,omitempty"`
 	// Unhealthy carries the watchdog's latched violation on the step it
 	// fires (absent on healthy steps).
 	Unhealthy *UnhealthyRecord `json:"unhealthy,omitempty"`
+}
+
+// CritPathStep is the steplog form of one step's critical path: the
+// phase that dominated the step's critical time, the thread that was
+// slowest in it (the barrier's last arriver for that phase), and the
+// summed per-phase critical seconds of the whole step.
+type CritPathStep struct {
+	Phase   string  `json:"phase"`
+	Tid     int     `json:"tid"`
+	Seconds float64 `json:"seconds"`
 }
 
 // UnhealthyRecord is the steplog form of a HealthError: what broke and,

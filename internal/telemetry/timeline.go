@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// TimelineSlice is one recorded phase execution on one thread's ring:
+// which step and segment (a caller-defined small integer — the cube
+// engines use kernel-phase ids, the loop-parallel engine kernel ids)
+// ran, and its begin/end stamps in nanoseconds since the timeline's
+// origin.
+type TimelineSlice struct {
+	Step  int
+	Seg   int
+	Start int64
+	End   int64
+}
+
+// Timeline is a fixed-size per-thread ring of phase slices — the
+// flight-recorder idea applied to time attribution. Each thread owns a
+// preallocated ring of slots that are reused in place (zero allocation
+// after construction), guarded by a per-thread mutex so writes from the
+// owning worker never contend with other workers and readers see
+// consistent slices. The critical-path profiler records every phase
+// completion here and reads recent slices back when reconstructing a
+// step's last-arriver chain.
+type Timeline struct {
+	origin  time.Time
+	threads int
+	cap     int
+	mu      []sync.Mutex    // one per thread
+	slots   [][]TimelineSlice // per-thread rings
+	count   []uint64          // per-thread total slices ever recorded
+}
+
+// NewTimeline creates a timeline for the given number of threads with
+// capacity slots per thread (minimums of 1 apply to both).
+func NewTimeline(threads, capacity int) *Timeline {
+	if threads < 1 {
+		threads = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Timeline{
+		origin:  time.Now(),
+		threads: threads,
+		cap:     capacity,
+		mu:      make([]sync.Mutex, threads),
+		slots:   make([][]TimelineSlice, threads),
+		count:   make([]uint64, threads),
+	}
+	for i := range t.slots {
+		t.slots[i] = make([]TimelineSlice, capacity)
+	}
+	return t
+}
+
+// Threads returns the number of per-thread rings.
+func (t *Timeline) Threads() int { return t.threads }
+
+// Cap returns the per-thread ring capacity.
+func (t *Timeline) Cap() int { return t.cap }
+
+// RecordDone records a slice of duration d ending now on thread tid's
+// ring, reusing the oldest slot in place. Out-of-range tids are
+// dropped (defensive: observer fan-outs may be wider than the ring).
+func (t *Timeline) RecordDone(tid, step, seg int, d time.Duration) {
+	if tid < 0 || tid >= t.threads {
+		return
+	}
+	// Start may go negative when a slice's duration predates the
+	// timeline's origin (or is synthetic, in tests); End−Start must
+	// stay the true duration, so no clamping here.
+	end := time.Since(t.origin).Nanoseconds()
+	start := end - d.Nanoseconds()
+	t.mu[tid].Lock()
+	slot := &t.slots[tid][t.count[tid]%uint64(t.cap)]
+	slot.Step = step
+	slot.Seg = seg
+	slot.Start = start
+	slot.End = end
+	t.count[tid]++
+	t.mu[tid].Unlock()
+}
+
+// Slices returns a copy of thread tid's ring, oldest first. The copy
+// allocates; it is meant for report generation, not hot paths.
+func (t *Timeline) Slices(tid int) []TimelineSlice {
+	if tid < 0 || tid >= t.threads {
+		return nil
+	}
+	t.mu[tid].Lock()
+	defer t.mu[tid].Unlock()
+	n := t.count[tid]
+	if n == 0 {
+		return nil
+	}
+	filled := t.cap
+	if n < uint64(t.cap) {
+		filled = int(n)
+	}
+	out := make([]TimelineSlice, 0, filled)
+	first := n - uint64(filled)
+	for i := 0; i < filled; i++ {
+		out = append(out, t.slots[tid][(first+uint64(i))%uint64(t.cap)])
+	}
+	return out
+}
+
+// Lookup returns thread tid's most recent slice for (step, seg), if it
+// is still in the ring.
+func (t *Timeline) Lookup(tid, step, seg int) (TimelineSlice, bool) {
+	if tid < 0 || tid >= t.threads {
+		return TimelineSlice{}, false
+	}
+	t.mu[tid].Lock()
+	defer t.mu[tid].Unlock()
+	n := t.count[tid]
+	filled := uint64(t.cap)
+	if n < filled {
+		filled = n
+	}
+	for i := uint64(1); i <= filled; i++ {
+		s := t.slots[tid][(n-i)%uint64(t.cap)]
+		if s.Step == step && s.Seg == seg {
+			return s, true
+		}
+	}
+	return TimelineSlice{}, false
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimelineRecordAndLookup checks basic ring behavior on one thread:
+// slices come back oldest-first, wrap-around evicts the oldest, and
+// Lookup finds the most recent (step, seg) match.
+func TestTimelineRecordAndLookup(t *testing.T) {
+	tl := NewTimeline(1, 4)
+	for step := 0; step < 6; step++ {
+		tl.RecordDone(0, step, 2, time.Millisecond)
+	}
+	got := tl.Slices(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d slices, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := 2 + i; s.Step != want {
+			t.Errorf("slice %d has step %d, want %d (oldest evicted)", i, s.Step, want)
+		}
+		if s.End <= s.Start {
+			t.Errorf("slice %d has non-positive extent [%d, %d]", i, s.Start, s.End)
+		}
+	}
+	if _, ok := tl.Lookup(0, 1, 2); ok {
+		t.Error("Lookup found evicted step 1")
+	}
+	s, ok := tl.Lookup(0, 5, 2)
+	if !ok || s.Step != 5 {
+		t.Fatalf("Lookup(step 5) = (%+v, %v), want hit", s, ok)
+	}
+	if _, ok := tl.Lookup(0, 5, 3); ok {
+		t.Error("Lookup matched wrong segment")
+	}
+}
+
+// TestTimelineOutOfRange checks defensive drops: out-of-range tids
+// neither panic nor record.
+func TestTimelineOutOfRange(t *testing.T) {
+	tl := NewTimeline(2, 4)
+	tl.RecordDone(-1, 0, 1, time.Millisecond)
+	tl.RecordDone(2, 0, 1, time.Millisecond)
+	if got := tl.Slices(0); got != nil {
+		t.Errorf("thread 0 has %d slices, want none", len(got))
+	}
+	if got := tl.Slices(7); got != nil {
+		t.Errorf("out-of-range Slices returned %d slices, want nil", len(got))
+	}
+}
+
+// TestTimelineRace hammers the ring from 8 writer goroutines (one per
+// thread track, like a real worker team) while a reader concurrently
+// copies and looks up slices — the zero-alloc slot reuse must be
+// race-clean and every read must observe internally consistent slices.
+func TestTimelineRace(t *testing.T) {
+	const (
+		threads = 8
+		writes  = 500
+	)
+	tl := NewTimeline(threads, 32)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < writes; i++ {
+				tl.RecordDone(tid, i, 1+i%5, time.Microsecond)
+			}
+		}(tid)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for tid := 0; tid < threads; tid++ {
+				for _, s := range tl.Slices(tid) {
+					if s.End < s.Start {
+						t.Errorf("tid %d: torn slice %+v", tid, s)
+					}
+				}
+				tl.Lookup(tid, writes/2, 1)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	for tid := 0; tid < threads; tid++ {
+		got := tl.Slices(tid)
+		if len(got) != 32 {
+			t.Errorf("tid %d ring holds %d slices, want 32", tid, len(got))
+		}
+	}
+}

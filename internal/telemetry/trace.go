@@ -24,6 +24,8 @@ type traceEvent struct {
 	Dur   float64        `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
+	ID    uint64         `json:"id,omitempty"` // flow-event binding ("s"/"f" pairs)
+	BP    string         `json:"bp,omitempty"` // "e": bind flow end to enclosing slice
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -87,6 +89,37 @@ func (t *Tracer) Counter(tid int, name string, values map[string]any) {
 		Name: name, Phase: "C",
 		TS:  float64(now.Sub(t.start).Microseconds()),
 		PID: 1, TID: tid, Args: values,
+	})
+	t.mu.Unlock()
+}
+
+// FlowStart appends a Chrome trace flow-start ("s") event on track tid
+// at the current time. Flow events with the same id are drawn as an
+// arrow from the start to the end — the critical-path profiler emits a
+// start on the last arriver's track at each barrier release and ends on
+// the tracks of the threads that waited for it, making "who made whom
+// wait" a visible edge in the timeline.
+func (t *Tracer) FlowStart(id uint64, tid int, name string) {
+	now := time.Now()
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: "critpath", Phase: "s", ID: id,
+		TS:  float64(now.Sub(t.start).Microseconds()),
+		PID: 1, TID: tid,
+	})
+	t.mu.Unlock()
+}
+
+// FlowEnd appends the matching flow-end ("f") event on track tid,
+// bound to the enclosing slice ("bp":"e") so viewers attach the arrow
+// head to the phase slice that resumed after the wait.
+func (t *Tracer) FlowEnd(id uint64, tid int, name string) {
+	now := time.Now()
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: "critpath", Phase: "f", ID: id, BP: "e",
+		TS:  float64(now.Sub(t.start).Microseconds()),
+		PID: 1, TID: tid,
 	})
 	t.mu.Unlock()
 }

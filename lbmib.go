@@ -37,6 +37,7 @@
 package lbmib
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"lbmib/internal/core"
+	"lbmib/internal/critpath"
 	"lbmib/internal/cubesolver"
 	"lbmib/internal/fiber"
 	"lbmib/internal/flightrec"
@@ -232,6 +234,19 @@ type Config struct {
 	// lbmib_lock_wait_seconds gauges. Off by default: the uninstrumented
 	// engines take their exact pre-existing code paths.
 	Contention bool
+	// CritPath, when true, runs the critical-path profiler: per-step
+	// last-arriver attribution at every barrier site, a per-thread phase
+	// timeline, and wait-cause classification (persistent straggler, data
+	// imbalance, barrier-topology overhead). CritPathReport returns the
+	// rollup with a perfsim what-if table; with a Telemetry registry the
+	// per-phase critical path is published as
+	// lbmib_critical_path_seconds{engine,phase} and last-arriver counts as
+	// lbmib_last_arriver_total{engine,site,tid}; with a TraceFile, barrier
+	// releases become Chrome-trace flow events; with a flight recorder, a
+	// critpath.json section joins post-mortem bundles. Supported by the
+	// OpenMP, CubeBased, TaskScheduled and Fused engines; off by default
+	// (the uninstrumented engines take their exact pre-existing paths).
+	CritPath bool
 }
 
 // engine is what each solver implementation provides to the facade.
@@ -265,6 +280,11 @@ type stepInstr struct {
 	regionProf *perfmon.RegionProfile     // OmpP-style per-region accounting (OpenMP)
 	cont       *perfmon.ContentionProfile // barrier + spreading-lock waits
 	heatmap    *perfmon.CubeHeatmap       // per-cube work samples (CubeBased)
+
+	// Critical-path attribution (Config.CritPath); receives phase/region
+	// completions through the fan-outs below and barrier arrivals directly
+	// (engines attach it as their BarrierArrivalObserver).
+	crit *critpath.Profiler
 }
 
 // KernelDone implements core.Observer.
@@ -293,6 +313,21 @@ func (si *stepInstr) PhaseDone(step, tid int, p cubesolver.Phase, d time.Duratio
 	}
 	if si.phaseProf != nil {
 		si.phaseProf.PhaseDone(step, tid, p, d)
+	}
+	if si.crit != nil {
+		si.crit.PhaseDone(step, tid, p, d)
+	}
+}
+
+// RegionDone implements omp.RegionObserver, fanning each parallel
+// region's per-thread busy times out to the OmpP-style profile and the
+// critical-path profiler.
+func (si *stepInstr) RegionDone(step int, k core.Kernel, busy []time.Duration) {
+	if si.regionProf != nil {
+		si.regionProf.RegionDone(step, k, busy)
+	}
+	if si.crit != nil {
+		si.crit.RegionDone(step, k, busy)
 	}
 }
 
@@ -515,7 +550,7 @@ func (s *Simulation) initTelemetry() error {
 		s.rec = flightrec.New(c)
 		s.rec.SetRunSpec(s.runSpec())
 	}
-	if s.tracer == nil && cfg.Telemetry == nil && !cfg.Contention && s.rec == nil {
+	if s.tracer == nil && cfg.Telemetry == nil && !cfg.Contention && !cfg.CritPath && s.rec == nil {
 		return nil
 	}
 	si := &stepInstr{tracer: s.tracer, rec: s.rec, threads: cfg.Threads}
@@ -544,10 +579,39 @@ func (s *Simulation) initTelemetry() error {
 		case CubeBased:
 			si.phaseProf = perfmon.NewPhaseProfile(cfg.Threads)
 			si.cont = perfmon.NewContentionProfile(cfg.Threads, cfg.Threads) // lock owner = thread
-		case TaskScheduled, Fused:
+		case Fused:
+			// The fused sweep has two instrumentable barrier sites (the
+			// mid-sweep wavefront join and the end-of-sweep join), so it
+			// gets the same wait attribution as the cube engine.
+			si.phaseProf = perfmon.NewPhaseProfile(cfg.Threads)
+			si.cont = perfmon.NewContentionProfile(cfg.Threads, cfg.Threads) // lock owner = thread
+		case TaskScheduled:
 			// No timed barrier sites; only per-thread phase times apply.
 			si.phaseProf = perfmon.NewPhaseProfile(cfg.Threads)
 		}
+	}
+	if cfg.CritPath {
+		switch cfg.Solver {
+		case OpenMP, CubeBased, TaskScheduled, Fused:
+			eng := cfg.Solver.String()
+			if cfg.Solver == Fused && cfg.Float32 {
+				eng = "fused-f32"
+			}
+			si.crit = critpath.New(critpath.Config{
+				Engine:  eng,
+				Threads: cfg.Threads,
+				Tracer:  s.tracer,
+			})
+		}
+	}
+	if s.rec != nil && si.crit != nil {
+		crit := si.crit
+		nodes := float64(cfg.NX) * float64(cfg.NY) * float64(cfg.NZ)
+		s.rec.SetAux(flightrec.CritPathFile, func() ([]byte, error) {
+			r := crit.Report()
+			critpath.AddWhatIf(&r, nodes)
+			return json.MarshalIndent(r, "", "  ")
+		})
 	}
 	s.instr = si
 	s.eng.observe(si)
@@ -558,7 +622,7 @@ func (s *Simulation) initTelemetry() error {
 // bookkeeping.
 func (s *Simulation) instrumented() bool {
 	return s.mSteps != nil || s.tracer != nil || s.logger != nil || s.watchdog != nil ||
-		s.rec != nil || s.cfg.Contention
+		s.rec != nil || s.cfg.Contention || s.cfg.CritPath
 }
 
 // runSpec describes this run for post-mortem bundles: enough to rebuild
@@ -766,6 +830,14 @@ func (s *Simulation) runSteps(n int) {
 				rec.BarrierWaitShare = st.BarrierWaitShare
 				rec.LockWaitShare = st.LockWaitShare
 			}
+			// The profiler is keyed by the engine's internal step index
+			// (what the observer callbacks carry), which lags StepCount by
+			// one and excludes any restore offset.
+			if si := s.instr; si != nil && si.crit != nil {
+				if cp, ok := si.crit.StepRecord(s.eng.stepCount() - 1); ok {
+					rec.CritPath = &cp
+				}
+			}
 			s.logger.Log(rec) //nolint:errcheck // logging is best-effort
 		}
 	}
@@ -804,6 +876,9 @@ func (s *Simulation) recordBatch(n int, nodes float64, elapsed time.Duration) {
 		}
 	}
 	s.publishContention()
+	if si := s.instr; si != nil && si.crit != nil {
+		si.crit.Publish(s.cfg.Telemetry) // nil registry is a no-op
+	}
 }
 
 // publishContention rolls the contention profiles up into the registry:
@@ -904,6 +979,20 @@ func (s *Simulation) WriteCubeHeatmap(w io.Writer) error {
 		return fmt.Errorf("lbmib: heatmap requires Config.Contention with the CubeBased engine")
 	}
 	return s.instr.heatmap.WriteJSON(w)
+}
+
+// CritPathReport returns the critical-path profiler's accumulated
+// report — per-site last-arriver attribution with wait-cause classes,
+// per-phase critical-path seconds, recent last-arriver chains, and the
+// perfsim what-if table of predicted MLUPS gains. ok is false unless
+// Config.CritPath was set on a supported engine.
+func (s *Simulation) CritPathReport() (critpath.Report, bool) {
+	if s.instr == nil || s.instr.crit == nil {
+		return critpath.Report{}, false
+	}
+	r := s.instr.crit.Report()
+	critpath.AddWhatIf(&r, float64(s.cfg.NX)*float64(s.cfg.NY)*float64(s.cfg.NZ))
+	return r, true
 }
 
 // Health returns nil while the configured Watchdog (if any) considers
@@ -1127,8 +1216,10 @@ func (e *ompEngine) digest(d *grid.DigestGrid) error { return e.s.Fluid.Digest(d
 func (e *ompEngine) close()                          { e.s.Close() }
 func (e *ompEngine) observe(si *stepInstr) {
 	e.s.Observer = si
-	if si.regionProf != nil {
-		e.s.Regions = si.regionProf
+	if si.regionProf != nil || si.crit != nil {
+		// stepInstr fans RegionDone out to whichever of the OmpP-style
+		// profile and the critical-path profiler are configured.
+		e.s.Regions = si
 	}
 	if si.cont != nil {
 		e.s.Locks = si.cont
@@ -1169,6 +1260,9 @@ func (e *cubeEngine) observe(si *stepInstr) {
 		si.heatmap = perfmon.NewCubeHeatmap(e.s.Fluid.CX, e.s.Fluid.CY, e.s.Fluid.CZ, e.s.Fluid.K, si.threads)
 		e.s.CubeWork = si.heatmap
 	}
+	if si.crit != nil {
+		e.s.Arrivals = si.crit
+	}
 }
 func (e *cubeEngine) load(g *grid.Grid) error {
 	if err := e.s.Fluid.FromGrid(g); err != nil {
@@ -1203,7 +1297,14 @@ func (e *fusedEngine) observe(si *stepInstr) {
 	e.s.Observer = si
 	// The fiber kernels inherited from the OpenMP-style solver support
 	// region accounting, but the fused step reports through the phase
-	// vocabulary instead; only the phase profile applies here.
+	// vocabulary instead; the phase profile and the sweep's two timed
+	// barrier sites (mid-sweep and end-of-sweep joins) apply here.
+	if si.cont != nil {
+		e.s.Contention = si.cont
+	}
+	if si.crit != nil {
+		e.s.Arrivals = si.crit
+	}
 }
 func (e *fusedEngine) load(g *grid.Grid) error { return e.s.Load(g) }
 

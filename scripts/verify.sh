@@ -30,7 +30,7 @@ go vet -stdmethods=false ./...
 scripts/lint ./...
 go test -run 'TestAnalyzersGoldenCorpus|TestLintSelfHost' ./internal/analysis/
 
-go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/fused/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/... ./internal/perfmon/... ./internal/par/... ./internal/flightrec/...
+go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/fused/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/... ./internal/perfmon/... ./internal/par/... ./internal/flightrec/... ./internal/critpath/... ./internal/perfsim/...
 
 # Cross-engine differential smoke: 10 seeded cases on every engine,
 # including the fused engine in both storage modes (float64 on the
@@ -89,4 +89,19 @@ rm -rf "$FRDIR"
 # committed recorder-on/off baseline (warn-only, like the one above).
 go run ./cmd/lbmib-bench -exp flightrec -out BENCH_smoke.json
 scripts/bench_compare BENCH_pr6.json BENCH_smoke.json
+rm -f BENCH_smoke.json
+
+# Critical-path profiler smoke: a tiny attributed run must emit a valid
+# schema-versioned report naming at least one barrier site.
+CPOUT=$(mktemp)
+go run ./cmd/lbmib-profile -critpath -solver cube -threads 2 \
+	-nx 16 -ny 16 -nz 16 -steps 10 -sheet 8x8 -critpath-out "$CPOUT"
+grep -q '"schema": "lbmib-critpath/v1"' "$CPOUT"
+grep -q '"site": "end_of_step"' "$CPOUT"
+rm -f "$CPOUT"
+
+# Critical-path profiler overhead tripwire: fresh profiler-on/off pair
+# against the committed baseline (warn-only drift, budget 2%).
+go run ./cmd/lbmib-bench -exp critpath -out BENCH_smoke.json
+scripts/bench_compare BENCH_pr9.json BENCH_smoke.json
 rm -f BENCH_smoke.json
