@@ -22,7 +22,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbmib-bench: ")
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, imbalance, spreading, fused, flightrec, critpath, copyswap, ablations or all")
+		exp         = flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig5, fig8, mlups, imbalance, spreading, fused, flightrec, critpath, barrierfold, copyswap, ablations or all")
 		paper       = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
 		steps       = flag.Int("steps", 0, "override time steps for measured experiments")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and pprof on this address while benchmarks run")
@@ -177,6 +177,25 @@ func main() {
 			}
 			if path != "" {
 				if err := experiments.WriteBench(path, experiments.BenchFromCritPath(r)); err != nil {
+					return "", err
+				}
+				fmt.Fprintf(&b, "benchmark written to %s (schema %s)\n", path, experiments.BenchSchema)
+			}
+			return b.String(), nil
+		}},
+		{"barrierfold", func() (string, error) {
+			r, err := experiments.BarrierFold(opt, reg)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			b.WriteString(r.Render())
+			path := *out
+			if path == "" && *exp == "barrierfold" {
+				path = "BENCH_barrierfold.json"
+			}
+			if path != "" {
+				if err := experiments.WriteBench(path, experiments.BenchFromBarrierFold(r)); err != nil {
 					return "", err
 				}
 				fmt.Fprintf(&b, "benchmark written to %s (schema %s)\n", path, experiments.BenchSchema)

@@ -56,6 +56,9 @@ func main() {
 	// Any benchmark row spending most of its thread-time at barriers
 	// deserves a critical-path investigation (warn-only tripwire).
 	warns = append(warns, experiments.BarrierShareInvariants(cur)...)
+	// Barrier-fold rows must realize a reasonable share of the predicted
+	// gain (warn-only: folds are sync-cost sized and noise-prone).
+	warns = append(warns, experiments.FoldInvariants(cur)...)
 	if len(warns) == 0 {
 		fmt.Printf("ok: %s vs %s within tolerance (%d engines, kind %q)\n",
 			flag.Arg(0), flag.Arg(1), len(cur.Results), cur.Kind)

@@ -16,6 +16,7 @@ import (
 	"lbmib/internal/cubesolver"
 	"lbmib/internal/fiber"
 	"lbmib/internal/fused"
+	"lbmib/internal/fusereport"
 	"lbmib/internal/omp"
 	"lbmib/internal/telemetry"
 )
@@ -26,6 +27,7 @@ type critPathOpts struct {
 	threads int
 	cube    int
 	out     string // JSON report path ("" = none)
+	fuse    string // fusibility report path ("" = untagged what-ifs)
 	slowTid int    // artificial straggler thread (-1 = none)
 	slowMS  float64
 }
@@ -127,7 +129,19 @@ func runCritPath(o critPathOpts, nx, ny, nz, steps int, tau float64, sheet *fibe
 		wall.Round(time.Millisecond), nodes*float64(steps)/wall.Seconds()/1e6)
 
 	r := prof.Report()
-	critpath.AddWhatIf(&r, nodes)
+	if o.fuse != "" {
+		rep, err := fusereport.Load(o.fuse)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine := o.solver
+		if engine == "fused-f32" {
+			engine = "fused"
+		}
+		critpath.AddWhatIfWithProofs(&r, nodes, rep.FindEngine(engine))
+	} else {
+		critpath.AddWhatIf(&r, nodes)
+	}
 	critpath.Render(os.Stdout, r)
 
 	if o.out != "" {

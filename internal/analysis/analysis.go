@@ -1,7 +1,7 @@
 // Package analysis is lbmib-lint's engine: a stdlib-only static
 // analyzer (go/ast + go/parser + go/types, no external loader) that
 // proves the project-specific concurrency and numerics invariants the
-// race detector can only sample. Five analyzers encode the contracts
+// race detector can only sample. Eight analyzers encode the contracts
 // the paper's cube algorithm rests on:
 //
 //   - lockcheck — every Lock/TryLock-success path releases its mutex on
@@ -19,7 +19,17 @@
 //     the physics packages (bitwise-equality test files are exempt by
 //     construction: test files are not loaded);
 //   - observercheck — telemetry/contention observer interfaces must be
-//     nil-guarded before invocation on hot paths.
+//     nil-guarded before invocation on hot paths;
+//   - atomiccheck — a word accessed through sync/atomic anywhere must
+//     be accessed through sync/atomic everywhere (no mixed plain
+//     loads/stores);
+//   - hotalloc — no heap allocation, fmt formatting, or closure
+//     construction inside loops reachable from a Step/timeStep/sweep
+//     hot root;
+//   - phasecheck — the phase-effect engine (see phasecheck.go and
+//     phasereport.go): abstractly interprets the kernel phases between
+//     barrier sites and proves every conditionally-folded barrier
+//     conflict-free in the scenarios that fold it.
 //
 // Findings a human has reviewed are silenced with //lint:allow
 // comments (see suppress.go) that carry the reason for the exemption.
@@ -29,8 +39,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding of one analyzer.
@@ -76,6 +88,20 @@ type Analyzer struct {
 	// fixture's import path.
 	Scope func(pkgPath string) bool
 	Run   func(pass *Pass) []Diagnostic
+	// RunModule, when set instead of Run, receives every loaded package
+	// at once — for whole-program analyses (cross-package call graphs,
+	// the phase-effect engine) that cannot work one package at a time.
+	RunModule func(mp *ModulePass) []Diagnostic
+}
+
+// ModulePass is the whole-module unit of work for RunModule analyzers.
+type ModulePass struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+	// Single marks the fuzzer's one-file mode: type information may be
+	// partial and engine packages absent, so module analyzers fall back
+	// to their generic (fixture) behavior.
+	Single bool
 }
 
 // Analyzers returns the full analyzer set in stable order.
@@ -86,6 +112,9 @@ func Analyzers() []*Analyzer {
 		ParityCheck,
 		FloatCheck,
 		ObserverCheck,
+		AtomicCheck,
+		HotAlloc,
+		PhaseCheck,
 	}
 }
 
@@ -132,20 +161,72 @@ type Result struct {
 // analyzer's Scope and the //lint:allow suppressions in the source.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) Result {
 	var res Result
+	// Per-package analyzers are independent across packages (each Pass is
+	// fresh, packages are read-only, and FileSet lookups are safe for
+	// concurrent readers), so packages fan out across the CPUs. Results
+	// land in a per-package slot and merge in package order, keeping the
+	// output deterministic regardless of scheduling.
+	type pkgResult struct {
+		diags      []Diagnostic
+		suppressed int
+	}
+	supByPkg := make(map[*Package]*suppressions, len(pkgs))
+	perPkg := make([]pkgResult, len(pkgs))
 	for _, pkg := range pkgs {
-		sup := newSuppressions(fset, pkg)
-		pass := &Pass{Fset: fset, Pkg: pkg}
-		for _, a := range analyzers {
-			if a.Scope != nil && !a.Scope(pkg.Path) && !strings.Contains(pkg.Path, "/testdata/") {
-				continue
+		supByPkg[pkg] = newSuppressions(fset, pkg)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer func() { <-sem; wg.Done() }()
+			sup := supByPkg[pkg]
+			pass := &Pass{Fset: fset, Pkg: pkg}
+			for _, a := range analyzers {
+				if a.Run == nil {
+					continue
+				}
+				if a.Scope != nil && !a.Scope(pkg.Path) && !strings.Contains(pkg.Path, "/testdata/") {
+					continue
+				}
+				for _, d := range a.Run(pass) {
+					if sup.allows(a.Name, fset.Position(d.Pos)) {
+						perPkg[i].suppressed++
+						continue
+					}
+					perPkg[i].diags = append(perPkg[i].diags, d)
+				}
 			}
-			for _, d := range a.Run(pass) {
-				if sup.allows(a.Name, fset.Position(d.Pos)) {
+		}(i, pkg)
+	}
+	wg.Wait()
+	for _, pr := range perPkg {
+		res.Diagnostics = append(res.Diagnostics, pr.diags...)
+		res.Suppressed += pr.suppressed
+	}
+	// Whole-module analyzers run once; their diagnostics are suppressed
+	// by the package owning the position they point at.
+	filePkg := make(map[string]*Package)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			filePkg[fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	mp := &ModulePass{Fset: fset, Pkgs: pkgs}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		for _, d := range a.RunModule(mp) {
+			if pkg := filePkg[fset.Position(d.Pos).Filename]; pkg != nil {
+				if supByPkg[pkg].allows(a.Name, fset.Position(d.Pos)) {
 					res.Suppressed++
 					continue
 				}
-				res.Diagnostics = append(res.Diagnostics, d)
 			}
+			res.Diagnostics = append(res.Diagnostics, d)
 		}
 	}
 	sort.Slice(res.Diagnostics, func(i, j int) bool {

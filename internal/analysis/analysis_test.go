@@ -66,6 +66,9 @@ func TestAnalyzersGoldenCorpus(t *testing.T) {
 		{"paritybad", ParityCheck, 0},
 		{"floatbad", FloatCheck, 1},
 		{"observerbad", ObserverCheck, 0},
+		{"atomicbad", AtomicCheck, 1},
+		{"allocbad", HotAlloc, 1},
+		{"phasebad", PhaseCheck, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

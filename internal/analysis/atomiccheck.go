@@ -1,0 +1,155 @@
+// atomiccheck: a variable or struct field that is accessed through
+// sync/atomic in one place and with a plain load or store in another has
+// no coherent memory-ordering story — the plain access races with the
+// atomic one. The check is module-wide because the two access sites are
+// typically in different packages (a counter bumped atomically in the
+// worker and read plainly in a report printer).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicCheck flags mixed atomic/plain access to the same object.
+var AtomicCheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc: "a field accessed via sync/atomic must never also be accessed with a plain " +
+		"load or store: the plain access races with the atomic one",
+	RunModule: runAtomicCheck,
+}
+
+type atomicUse struct {
+	pos token.Pos // first atomic access, for the message
+}
+
+func runAtomicCheck(mp *ModulePass) []Diagnostic {
+	// Pass 1: objects addressed by a sync/atomic call argument, plus the
+	// source ranges of those call expressions (accesses inside them are
+	// the atomic ones, not plain).
+	atomics := map[types.Object]atomicUse{}
+	type span struct{ lo, hi token.Pos }
+	var atomicSpans []span
+	forEachTypedFile(mp, func(pkg *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(call, pkg.Info) {
+				return true
+			}
+			atomicSpans = append(atomicSpans, span{call.Pos(), call.End()})
+			for _, a := range call.Args {
+				un, ok := a.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedObject(un.X, pkg.Info); obj != nil {
+					if _, seen := atomics[obj]; !seen {
+						atomics[obj] = atomicUse{pos: call.Pos()}
+					}
+				}
+			}
+			return true
+		})
+	})
+	if len(atomics) == 0 {
+		return nil
+	}
+	inAtomic := func(p token.Pos) bool {
+		for _, s := range atomicSpans {
+			if s.lo <= p && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	// Pass 2: plain uses of those objects outside any atomic call.
+	var diags []Diagnostic
+	forEachTypedFile(mp, func(pkg *Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			au, tracked := atomics[obj]
+			if !tracked || inAtomic(id.Pos()) {
+				return true
+			}
+			first := mp.Fset.Position(au.pos)
+			diags = append(diags, Diagnostic{
+				Check: "atomiccheck",
+				Pos:   id.Pos(),
+				Message: fmt.Sprintf(
+					"%s is accessed atomically (%s:%d) and with a plain load/store here; use sync/atomic consistently",
+					id.Name, shortPath(first.Filename), first.Line),
+			})
+			return true
+		})
+	})
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// isAtomicCall matches atomic.LoadX/StoreX/AddX/SwapX/CompareAndSwapX
+// package-function calls (typed atomics like atomic.Int64 confine access
+// by construction and need no check).
+func isAtomicCall(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// addressedObject resolves &expr's base object: a package var, local, or
+// struct field (possibly behind index expressions: &s.counts[i] tracks
+// the counts field).
+func addressedObject(e ast.Expr, info *types.Info) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.Ident:
+			return info.Uses[v]
+		case *ast.SelectorExpr:
+			return info.Uses[v.Sel]
+		default:
+			return nil
+		}
+	}
+}
+
+func forEachTypedFile(mp *ModulePass, f func(*Package, *ast.File)) {
+	for _, pkg := range mp.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			f(pkg, file)
+		}
+	}
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndex(p, "/internal/"); i >= 0 {
+		return p[i+1:]
+	}
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

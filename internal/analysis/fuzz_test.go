@@ -30,12 +30,19 @@ func FuzzLintParse(f *testing.F) {
 			return // unparseable input is rejected, not analyzed
 		}
 		pass := &Pass{Fset: fset, Pkg: pkg}
+		mp := &ModulePass{Fset: fset, Pkgs: []*Package{pkg}, Single: true}
+		run := func(a *Analyzer) []Diagnostic {
+			if a.Run != nil {
+				return a.Run(pass)
+			}
+			return a.RunModule(mp)
+		}
 		for _, a := range Analyzers() {
-			_ = a.Run(pass)
+			_ = run(a)
 		}
 		sup := newSuppressions(fset, pkg)
 		for _, a := range Analyzers() {
-			for _, d := range a.Run(pass) {
+			for _, d := range run(a) {
 				_ = sup.allows(a.Name, fset.Position(d.Pos))
 			}
 		}

@@ -1,0 +1,48 @@
+// Package allocbad exercises the hotalloc analyzer: code reachable from
+// a Step/timeStep/sweep root must not allocate inside loops. Each of
+// make, new, fmt formatting, composite-literal escape, and closure
+// construction below costs one heap allocation per iteration of the hot
+// loop — exactly the per-step garbage the solvers' steady state must
+// avoid.
+package allocbad
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type solver struct {
+	out   []string
+	sums  []int
+	trace []*point
+}
+
+func (s *solver) Step() {
+	for i := 0; i < 16; i++ {
+		buf := make([]float64, 8)                   //want:hotalloc
+		s.out = append(s.out, fmt.Sprintf("%d", i)) //want:hotalloc
+		s.trace = append(s.trace, &point{i, i})     //want:hotalloc
+		f := func() int { return i }                //want:hotalloc
+		s.sums = append(s.sums, f()+len(buf))
+	}
+	s.helper(4)
+}
+
+func (s *solver) helper(n int) {
+	for i := 0; i < n; i++ {
+		p := new(int) //want:hotalloc
+		*p = i
+		//lint:allow hotalloc -- fixture: reviewed warm-up allocation kept for the suppression counter
+		w := make([]int, 1)
+		s.sums = append(s.sums, *p+len(w))
+	}
+}
+
+// coldSummary is not reachable from any hot root, so its per-iteration
+// allocations are outside the analyzer's region of interest.
+func coldSummary(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%d", i))
+	}
+	return out
+}

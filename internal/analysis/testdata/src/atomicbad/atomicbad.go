@@ -1,0 +1,33 @@
+// Package atomicbad exercises the atomiccheck analyzer: a word updated
+// through sync/atomic in one place must not also be touched with plain
+// loads and stores elsewhere — the plain access races with the atomic
+// one and the race detector only catches it when both sides actually
+// collide at runtime.
+package atomicbad
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64 // mixed atomic/plain access: the bug under test
+	safe  int64 // accessed only atomically: no finding
+	plain int64 // accessed only plainly: no finding
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.safe, 1)
+}
+
+func (c *counter) report() int64 {
+	return c.hits + atomic.LoadInt64(&c.safe) //want:atomiccheck
+}
+
+func (c *counter) reset() {
+	c.hits = 0 //want:atomiccheck
+	c.plain = 0
+}
+
+func (c *counter) seed(v int64) {
+	//lint:allow atomiccheck -- fixture: single-threaded initialization before workers start
+	c.hits = v
+}

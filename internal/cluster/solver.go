@@ -136,8 +136,8 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
-		res.Messages += rs.messages
-		res.FloatsSent += rs.floatsSent
+		res.Messages += atomic.LoadInt64(&rs.messages)
+		res.FloatsSent += atomic.LoadInt64(&rs.floatsSent)
 	}
 	res.Fluid = full
 	res.Sheets = ranks[0].sheets

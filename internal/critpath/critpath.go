@@ -57,6 +57,7 @@ import (
 
 	"lbmib/internal/core"
 	"lbmib/internal/cubesolver"
+	"lbmib/internal/fusereport"
 	"lbmib/internal/perfsim"
 	"lbmib/internal/telemetry"
 )
@@ -475,6 +476,7 @@ type Report struct {
 // Report assembles the current attribution state. Safe to call
 // concurrently with recording; it reads a consistent-enough snapshot
 // for profiling purposes.
+//lint:allow hotalloc -- report assembly runs once per run, not per step; reachable from Step only through observer registration
 func (p *Profiler) Report() Report {
 	nsegs := len(p.segNames)
 	crit := make([]int64, nsegs)
@@ -572,6 +574,7 @@ func (p *Profiler) classify(sr SiteReport) string {
 
 // chains reconstructs the most recent steps' last-arriver chains from
 // the crossing ring, oldest step first, sites in release order.
+//lint:allow hotalloc -- chain reconstruction runs once per report, not per step
 func (p *Profiler) chains() []StepChain {
 	type link struct {
 		crossing uint64
@@ -681,8 +684,16 @@ func (p *Profiler) Publish(reg *telemetry.Registry) {
 // scenarios, using the report's mean per-step phase profile. nodes is
 // the lattice size (NX·NY·NZ) for MLUPS conversion.
 func AddWhatIf(r *Report, nodes float64) {
+	phases, syncSec := measuredProfile(r)
+	r.WhatIf = perfsim.WhatIf(nodes, r.Threads, phases, syncSec)
+}
+
+// measuredProfile extracts the perfsim inputs from a report: per-phase
+// per-thread busy seconds per step, and the per-crossing barrier sync
+// cost estimated from the topology-classified sites.
+func measuredProfile(r *Report) ([]perfsim.MeasuredPhase, float64) {
 	if r.Steps == 0 {
-		return
+		return nil, 0
 	}
 	phases := make([]perfsim.MeasuredPhase, 0, len(r.Phases))
 	for _, pr := range r.Phases {
@@ -722,7 +733,44 @@ func AddWhatIf(r *Report, nodes float64) {
 	} else {
 		syncSec = 2e-6
 	}
-	r.WhatIf = perfsim.WhatIf(nodes, r.Threads, phases, syncSec)
+	return phases, syncSec
+}
+
+// PredictEndFold returns perfsim's predicted speedup, in percent, of
+// removing one barrier crossing per step outright — the model for
+// folding the end-of-step barrier, whose adjacent phases (the parity
+// flip and the next step's empty fiber loop) carry no work in the
+// configurations that fold it, so the entire gain is the crossing
+// itself. Returns 0 when the report holds no profile.
+func PredictEndFold(r *Report) float64 {
+	phases, syncSec := measuredProfile(r)
+	if len(phases) == 0 {
+		return 0
+	}
+	base := float64(len(phases)) * syncSec
+	for _, ph := range phases {
+		var m float64
+		for _, v := range ph.Busy {
+			if v > m {
+				m = v
+			}
+		}
+		base += m
+	}
+	if base <= syncSec {
+		return 0
+	}
+	return 100 * (base/(base-syncSec) - 1)
+}
+
+// AddWhatIfWithProofs is AddWhatIf plus static backing: the barrier-merge
+// scenarios are tagged with the phase-effect analyzer's verdict from the
+// engine's fusibility report (proven-safe vs unsafe-with-conflict), so
+// the ranked table distinguishes merges the compiler of record has
+// cleared from merges that would break the bitwise contract.
+func AddWhatIfWithProofs(r *Report, nodes float64, eng *fusereport.Engine) {
+	AddWhatIf(r, nodes)
+	perfsim.TagProofs(r.WhatIf, eng)
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -789,10 +837,10 @@ func Render(w io.Writer, r Report) {
 
 	if len(r.WhatIf) > 0 {
 		fmt.Fprintf(w, "\nwhat-if (predicted, ranked):\n")
-		fmt.Fprintf(w, "  %-34s %12s %10s %9s\n", "scenario", "step(ms)", "MLUPS", "speedup")
+		fmt.Fprintf(w, "  %-34s %12s %10s %9s  %s\n", "scenario", "step(ms)", "MLUPS", "speedup", "proof")
 		for _, sc := range r.WhatIf {
-			fmt.Fprintf(w, "  %-34s %12.3f %10.2f %8.1f%%\n",
-				sc.Name, 1e3*sc.StepSeconds, sc.MLUPS, sc.SpeedupPct)
+			fmt.Fprintf(w, "  %-34s %12.3f %10.2f %8.1f%%  %s\n",
+				sc.Name, 1e3*sc.StepSeconds, sc.MLUPS, sc.SpeedupPct, sc.Proof)
 		}
 	}
 }

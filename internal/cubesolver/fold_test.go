@@ -1,0 +1,173 @@
+package cubesolver
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"lbmib/internal/core"
+)
+
+// fluidOnlyRefConfig is a structure-free moving-lid cavity: nontrivial
+// dynamics (boundary bounce-back plus a body force) with no fibers, the
+// regime in which the end-of-step barrier is proven fusible.
+func fluidOnlyRefConfig() core.Config {
+	return core.Config{
+		NX: 16, NY: 16, NZ: 16, Tau: 0.7,
+		BodyForce:   [3]float64{3e-5, 0, 0},
+		BCZ:         core.BounceBack,
+		LidVelocity: [3]float64{0.05, 0, 0},
+	}
+}
+
+func fluidOnlyCubeConfig(threads int) Config {
+	return Config{
+		NX: 16, NY: 16, NZ: 16, CubeSize: 4, Threads: threads, Tau: 0.7,
+		BodyForce:   [3]float64{3e-5, 0, 0},
+		BCZ:         core.BounceBack,
+		LidVelocity: [3]float64{0.05, 0, 0},
+	}
+}
+
+// TestFoldedEndBarrierBitwiseEqualsSequential is the fold's correctness
+// contract: a fluid-only run — where the end-of-step barrier is folded
+// away — must stay bitwise equal to the sequential reference at every
+// thread count. Parallel fluid-only execution reorders no floating-point
+// accumulation, so equality is exact, not tolerance-based.
+func TestFoldedEndBarrierBitwiseEqualsSequential(t *testing.T) {
+	const steps = 10
+	ref := core.MustNewSolver(fluidOnlyRefConfig())
+	ref.Run(steps)
+
+	for _, threads := range []int{1, 2, 4, 8} {
+		s, err := NewSolver(fluidOnlyCubeConfig(threads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.endBarrierNeeded() {
+			t.Fatalf("threads=%d: end barrier not folded on a fluid-only swap-path run", threads)
+		}
+		s.Run(steps)
+		g := s.Fluid.ToGrid()
+		for i := range ref.Fluid.Nodes {
+			if ref.Fluid.Nodes[i].DF != g.Nodes[i].DF {
+				t.Fatalf("threads=%d: node %d DF differs bitwise with the folded barrier", threads, i)
+			}
+			if ref.Fluid.Nodes[i].Vel != g.Nodes[i].Vel {
+				t.Fatalf("threads=%d: node %d velocity differs bitwise with the folded barrier", threads, i)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestEndBarrierFoldConditions pins exactly when the barrier folds: a
+// fluid-only swap-path multi-worker run folds it; fibers, LegacyCopy, or
+// a single worker (where the barrier is trivially needed-free but kept
+// out of the condition) each restore it.
+func TestEndBarrierFoldConditions(t *testing.T) {
+	mk := func(mut func(*Config)) *Solver {
+		cfg := fluidOnlyCubeConfig(4)
+		if mut != nil {
+			mut(&cfg)
+		}
+		s, err := NewSolver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		return s
+	}
+	if s := mk(nil); s.endBarrierNeeded() {
+		t.Error("fluid-only swap-path run: end barrier should fold")
+	}
+	if s := mk(func(c *Config) { c.Sheet = testSheet() }); !s.endBarrierNeeded() {
+		t.Error("run with fibers: end barrier is required (sheet X write→read across fibers)")
+	}
+	if s := mk(func(c *Config) { c.LegacyCopy = true }); !s.endBarrierNeeded() {
+		t.Error("LegacyCopy run: end barrier is required (copy reads buffers streaming overwrites)")
+	}
+	if s := mk(func(c *Config) { c.Threads = 1 }); s.endBarrierNeeded() {
+		t.Error("single-worker run: barrier orders nothing")
+	}
+}
+
+// countingContention tallies barrier-wait events per site.
+type countingContention struct {
+	mu    sync.Mutex
+	waits map[BarrierSite]int
+}
+
+func (c *countingContention) BarrierWait(site BarrierSite, tid int, wait time.Duration) {
+	c.mu.Lock()
+	if c.waits == nil {
+		c.waits = make(map[BarrierSite]int)
+	}
+	c.waits[site]++
+	c.mu.Unlock()
+}
+
+func (c *countingContention) LockWait(waiter, owner int, wait time.Duration, contended, reacquire bool) {
+}
+
+// TestFoldedEndBarrierEmitsNoCrossings proves the fold is real: with the
+// contention observer attached, a fluid-only run records zero end-of-step
+// crossings (and zero after-spread crossings — that site folded in PR 7)
+// while the two required sites fire once per step per thread.
+func TestFoldedEndBarrierEmitsNoCrossings(t *testing.T) {
+	const steps, threads = 5, 4
+	cfg := fluidOnlyCubeConfig(threads)
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	obs := &countingContention{}
+	s.Contention = obs
+	s.Run(steps)
+
+	if n := obs.waits[SiteEndOfStep]; n != 0 {
+		t.Errorf("end_of_step crossings = %d on a fluid-only run, want 0 (folded)", n)
+	}
+	if n := obs.waits[SiteAfterSpread]; n != 0 {
+		t.Errorf("after_spread crossings = %d on a fluid-only run, want 0 (folded)", n)
+	}
+	for _, site := range []BarrierSite{SiteAfterStream, SiteAfterVelocity} {
+		if n := obs.waits[site]; n != steps*threads {
+			t.Errorf("%v crossings = %d, want %d", site, n, steps*threads)
+		}
+	}
+}
+
+// TestPerKernelScheduleKeepsEndBarrier pins the ablation contract: the
+// BarrierPerKernel schedule synchronizes after every loop nest even when
+// the minimal schedule would fold, and both schedules stay bitwise equal.
+func TestPerKernelScheduleKeepsEndBarrier(t *testing.T) {
+	const steps, threads = 5, 4
+	cfg := fluidOnlyCubeConfig(threads)
+	cfg.Barriers = BarrierPerKernel
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	obs := &countingContention{}
+	s.Contention = obs
+	s.Run(steps)
+	if n := obs.waits[SiteEndOfStep]; n != steps*threads {
+		t.Errorf("per-kernel end_of_step crossings = %d, want %d", n, steps*threads)
+	}
+
+	min, err := NewSolver(fluidOnlyCubeConfig(threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer min.Close()
+	min.Run(steps)
+	ga, gb := s.Fluid.ToGrid(), min.Fluid.ToGrid()
+	for i := range ga.Nodes {
+		if ga.Nodes[i].DF != gb.Nodes[i].DF {
+			t.Fatalf("node %d: per-kernel and folded-minimal schedules differ bitwise", i)
+		}
+	}
+}

@@ -120,6 +120,11 @@ type Config struct {
 	// only the lock-free path is deterministic run-to-run at a fixed
 	// thread count.
 	LockedSpread bool
+	// KeepEndBarrier forces the end-of-step barrier even when
+	// endBarrierNeeded proves it orders nothing — the measurement foil
+	// for the barrier-fold experiment (predicted vs realized gain).
+	// Results are bitwise identical either way; that is the point.
+	KeepEndBarrier bool
 }
 
 // Solver is the cube-centric parallel LBM-IB solver.
@@ -139,6 +144,9 @@ type Solver struct {
 	// LockedSpread selects the per-owner-lock spreading path (see
 	// Config.LockedSpread); the default is the lock-free reduction.
 	LockedSpread bool
+	// KeepEndBarrier keeps the end-of-step barrier unconditionally (see
+	// Config.KeepEndBarrier).
+	KeepEndBarrier bool
 
 	Observer PhaseObserver
 
@@ -206,10 +214,11 @@ func NewSolver(cfg Config) (*Solver, error) {
 			CX: layout.CX, CY: layout.CY, CZ: layout.CZ,
 			Mesh: par.NewMesh(cfg.Threads), Dist: cfg.Dist, BlockSize: cfg.BlockSize,
 		},
-		FiberDist:    cfg.Dist,
-		Barriers:     cfg.Barriers,
-		LegacyCopy:   cfg.LegacyCopy,
-		LockedSpread: cfg.LockedSpread,
+		FiberDist:      cfg.Dist,
+		Barriers:       cfg.Barriers,
+		LegacyCopy:     cfg.LegacyCopy,
+		LockedSpread:   cfg.LockedSpread,
+		KeepEndBarrier: cfg.KeepEndBarrier,
 		bc: core.StreamBC{
 			NX: cfg.NX, NY: cfg.NY, NZ: cfg.NZ,
 			BCX: cfg.BCX, BCY: cfg.BCY, BCZ: cfg.BCZ,
@@ -303,21 +312,35 @@ func (s *Solver) Step() { s.Run(1) }
 // Run executes n time steps with the persistent worker team: every worker
 // runs the whole loop structure of Algorithm 4, including the global
 // barriers, until all n steps are done.
+//
+// Buffer parity is captured once here, before the team forks, and each
+// worker derives its step's parity from the step index alone (the swap
+// flips it exactly once per step on the default path). No worker reads
+// the layout's shared parity bit mid-run, which is what makes thread 0's
+// Swap in the 5th loop conflict-free and lets endBarrierNeeded fold the
+// end-of-step barrier when nothing else spans it (see timeStep).
 func (s *Solver) Run(n int) {
 	if n <= 0 {
 		return
 	}
 	first := s.step
+	p0 := s.Fluid.Cur()
 	s.team.Run(func(tid int) {
 		for st := first; st < first+n; st++ {
-			s.timeStep(st, tid)
+			cur := p0
+			if !s.LegacyCopy {
+				cur = p0 ^ ((st - first) & 1)
+			}
+			s.timeStep(st, tid, cur)
 		}
 	})
 	s.step += n
 }
 
-// timeStep is Thread_entry_fn's per-step body (Algorithm 4).
-func (s *Solver) timeStep(step, tid int) {
+// timeStep is Thread_entry_fn's per-step body (Algorithm 4). cur is the
+// step's distribution-buffer parity, derived from the step index by Run
+// so that workers never load the shared parity bit between barriers.
+func (s *Solver) timeStep(step, tid, cur int) {
 	phase := func(p Phase, fn func()) {
 		if s.Observer == nil {
 			fn()
@@ -345,11 +368,11 @@ func (s *Solver) timeStep(step, tid int) {
 
 	// 2nd loop: kernels 5–6 on owned cubes (the lock-free path first folds
 	// the workers' spread buffers into each owned cube).
-	phase(PhaseCollideStream, func() { s.collideStreamLoop(tid, perKernel, gen) })
+	phase(PhaseCollideStream, func() { s.collideStreamLoop(tid, perKernel, gen, cur) })
 	s.waitBarrier(SiteAfterStream, tid) // streaming → velocity-update dependency (paper's 1st barrier)
 
 	// 3rd loop: kernel 7 on owned cubes.
-	phase(PhaseUpdateVelocity, func() { s.updateVelocityLoop(tid) })
+	phase(PhaseUpdateVelocity, func() { s.updateVelocityLoop(tid, cur) })
 	s.waitBarrier(SiteAfterVelocity, tid) // velocity → move-fibers dependency (paper's 2nd barrier)
 
 	// 4th loop: kernel 8 on owned fibers.
@@ -361,11 +384,25 @@ func (s *Solver) timeStep(step, tid int) {
 	// 5th loop: kernel 9. Retired by default: thread 0 flips the layout's
 	// buffer parity in O(1) and everyone else's loop body is empty (each
 	// thread still reports the phase to its observer). The preceding
-	// barrier orders the flip after every thread's kernel-7 reads, and the
-	// end-of-step barrier publishes it before any thread's next step. With
-	// LegacyCopy every thread copies its owned cubes as published.
-	phase(PhaseCopy, func() { s.copyLoop(tid) })
-	s.waitBarrier(SiteEndOfStep, tid) // end-of-step barrier (paper's 3rd)
+	// barrier orders the flip after every thread's kernel-7 reads; workers
+	// derive their own parity from the step index, so the flip itself is
+	// unread until the run joins. With LegacyCopy every thread copies its
+	// owned cubes as published.
+	phase(PhaseCopy, func() { s.copyLoop(tid, cur) })
+	// End-of-step barrier (paper's 3rd). The phase-effect analysis
+	// (lbmib-lint -fusibility, DESIGN.md §16) proves it orders nothing in
+	// a fluid-only swap-path run: the move-fibers and copy phases between
+	// the after-velocity barrier and the next step's collide are then
+	// empty of cross-thread effects — fibers' X writes are absent, parity
+	// is derived per worker, and thread 0's Swap is unread until the team
+	// joins. With fibers it is required (move writes sheet X that the
+	// next step's bending stencil reads across fibers); with LegacyCopy
+	// it is required (the copy reads post-streaming buffers the next
+	// step's streaming overwrites cross-cube). The condition is
+	// thread-invariant, so every worker takes the same branch.
+	if perKernel || s.KeepEndBarrier || s.endBarrierNeeded() {
+		s.waitBarrier(SiteEndOfStep, tid)
+	}
 }
 
 // allSheets resolves the Config's structure list.
@@ -480,25 +517,25 @@ func (s *Solver) spreadLocked(tid int, x [3]float64, F [3]float64, area float64)
 // reduction needs no synchronization beyond the spread barrier already
 // passed, and the cube's nodes are hot in cache for the collision that
 // follows.
-func (s *Solver) collideStreamLoop(tid int, perKernel bool, gen int) {
+func (s *Solver) collideStreamLoop(tid int, perKernel bool, gen, cur int) {
 	reduce := s.accums != nil && fiber.TotalFibers(s.Sheets) > 0
 	if perKernel {
 		s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) {
 			if reduce {
 				s.reduceSpreadCube(c, gen)
 			}
-			s.collideCube(c)
+			s.collideCube(c, cur)
 		})
 		s.waitBarrier(SiteAfterCollide, tid)
-		s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) { s.streamCube(c) })
+		s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) { s.streamCube(c, cur) })
 		return
 	}
 	s.forOwnedCubesTimed(tid, PhaseCollideStream, func(c int) {
 		if reduce {
 			s.reduceSpreadCube(c, gen)
 		}
-		s.collideCube(c)
-		s.streamCube(c)
+		s.collideCube(c, cur)
+		s.streamCube(c, cur)
 	})
 }
 
@@ -520,9 +557,8 @@ func (s *Solver) forOwnedCubes(tid int, fn func(c int)) {
 // collideCube applies the BGK+Guo collision to every node of cube c; the
 // cube's nodes are one contiguous block, the working set the paper's
 // locality argument is about.
-func (s *Solver) collideCube(c int) {
+func (s *Solver) collideCube(c, cur int) {
 	nodes := s.Fluid.CubeNodes(c)
-	cur := s.Fluid.Cur()
 	for i := range nodes {
 		core.CollideNodeBuf(&nodes[i], s.Tau, cur)
 	}
@@ -532,7 +568,7 @@ func (s *Solver) collideCube(c int) {
 // to its 18 neighbors (possibly in other cubes), honoring the boundary
 // conditions. Each (node, direction) pair has exactly one writer, so
 // cross-cube writes need no locks.
-func (s *Solver) streamCube(c int) {
+func (s *Solver) streamCube(c, cur int) {
 	l := s.Fluid
 	k := l.K
 	cx, cy, cz := l.CubeCoord(c)
@@ -540,15 +576,14 @@ func (s *Solver) streamCube(c int) {
 	for lx := 0; lx < k; lx++ {
 		for ly := 0; ly < k; ly++ {
 			for lz := 0; lz < k; lz++ {
-				s.streamNode(x0+lx, y0+ly, z0+lz)
+				s.streamNode(x0+lx, y0+ly, z0+lz, cur)
 			}
 		}
 	}
 }
 
-func (s *Solver) streamNode(x, y, z int) {
+func (s *Solver) streamNode(x, y, z, cur int) {
 	l := s.Fluid
-	cur := l.Cur()
 	next := 1 - cur
 	idx := l.Idx(x, y, z)
 	src := &l.Nodes[idx]
@@ -578,8 +613,8 @@ func (s *Solver) streamNode(x, y, z int) {
 // correction) its force is reset to the uniform body force — the reset
 // the paper's loop 5 performed, folded here so the retired copy loop
 // leaves nothing behind.
-func (s *Solver) updateVelocityLoop(tid int) {
-	next := 1 - s.Fluid.Cur()
+func (s *Solver) updateVelocityLoop(tid, cur int) {
+	next := 1 - cur
 	body := s.BodyForce
 	s.forOwnedCubesTimed(tid, PhaseUpdateVelocity, func(c int) {
 		nodes := s.Fluid.CubeNodes(c)
@@ -609,14 +644,13 @@ func (s *Solver) moveFibersLoop(tid int) {
 // reset that used to ride along lives in updateVelocityLoop. With
 // LegacyCopy every thread runs the published per-node copy over its owned
 // cubes instead.
-func (s *Solver) copyLoop(tid int) {
+func (s *Solver) copyLoop(tid, cur int) {
 	if !s.LegacyCopy {
 		if tid == 0 {
 			s.Fluid.Swap()
 		}
 		return
 	}
-	cur := s.Fluid.Cur()
 	s.forOwnedCubesTimed(tid, PhaseCopy, func(c int) {
 		nodes := s.Fluid.CubeNodes(c)
 		for i := range nodes {

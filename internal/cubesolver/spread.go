@@ -110,6 +110,22 @@ func (s *Solver) spreadBarrierNeeded() bool {
 	return s.team.Size() > 1 && fiber.TotalFibers(s.Sheets) > 0
 }
 
+// endBarrierNeeded reports whether the end-of-step barrier orders
+// anything. It does not when a multi-worker run is fluid-only on the
+// swap path: the phases it separates (move-fibers, the parity flip) are
+// then free of cross-thread effects — workers derive their parity from
+// the step index, so thread 0's Swap is unread until the team joins —
+// a legality the phase-effect analyzer proves statically (lbmib-lint
+// -fusibility; DESIGN.md §16). With fibers the next step's bending
+// stencil reads sheet positions that move-fibers wrote on other
+// threads; with LegacyCopy the copy reads post-streaming buffers the
+// next step's streaming overwrites cross-cube — both make the barrier
+// required. The result depends on no per-thread state, so every worker
+// takes the same branch at the call site.
+func (s *Solver) endBarrierNeeded() bool {
+	return s.team.Size() > 1 && (fiber.TotalFibers(s.Sheets) > 0 || s.LegacyCopy)
+}
+
 // spreadOnly runs the fiber-force loop (kernels 1–4) once on the worker
 // team — including the owner-partitioned reduction on the lock-free path
 // — and stops before collision, leaving the accumulated force field in

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lbmib/internal/critpath"
+	"lbmib/internal/cubesolver"
+	"lbmib/internal/telemetry"
+)
+
+// BarrierFoldResult verifies the prove-then-fold pipeline end to end:
+// the phase-effect analyzer proved the cube engine's end-of-step
+// barrier orders nothing in fluid-only swap-path runs (lbmib-lint
+// -fusibility; DESIGN.md §16), the solver folds it, and this experiment
+// measures what the fold is worth. Each thread count runs the same
+// fluid-only problem twice — once with Config.KeepEndBarrier forcing
+// the barrier back in (the foil, profiled for perfsim's prediction) and
+// once folded — and reports the realized speedup next to the predicted
+// one. Results are bitwise identical either way; that is what the proof
+// guarantees.
+type BarrierFoldResult struct {
+	NX, NY, NZ int
+	CubeSize   int
+	Steps      int
+	Rows       []ImbalanceRow
+}
+
+// BarrierFold runs the kept/folded pairs at 1, 2, 4 and 8 threads.
+// When reg is non-nil each row is published as lbmib_bench_mlups.
+func BarrierFold(opt Options, reg *telemetry.Registry) (BarrierFoldResult, error) {
+	nx, ny, nz := 32, 32, 32
+	steps := 40
+	if opt.Paper {
+		nx, ny, nz, steps = 124, 64, 64, 200
+	}
+	if opt.Steps > 0 {
+		steps = opt.Steps
+	}
+	nodes := float64(nx) * float64(ny) * float64(nz)
+	res := BarrierFoldResult{NX: nx, NY: ny, NZ: nz, CubeSize: 4, Steps: steps}
+
+	for _, threads := range []int{1, 2, 4, 8} {
+		build := func(keep bool) (*cubesolver.Solver, error) {
+			return cubesolver.NewSolver(cubesolver.Config{
+				NX: nx, NY: ny, NZ: nz, CubeSize: res.CubeSize,
+				Threads: threads, Tau: 0.7,
+				BodyForce: [3]float64{2e-5, 0, 0}, // fluid-only: the proven fold scenario
+				KeepEndBarrier: keep,
+			})
+		}
+		kept, err := build(true)
+		if err != nil {
+			return res, err
+		}
+		folded, err := build(false)
+		if err != nil {
+			kept.Close()
+			return res, err
+		}
+
+		// Profile the kept run once for the prediction (the profiler
+		// needs the barrier present to price a crossing), then time both
+		// variants uninstrumented, interleaved best-of so a load spike
+		// hits the two sides about equally. Warm caches first: a cold
+		// first step inflates the barrier waits the sync-cost estimate
+		// is built from.
+		kept.Run(2)
+		prof := critpath.New(critpath.Config{Engine: "cube", Threads: kept.Threads()})
+		kept.Observer = prof
+		kept.Arrivals = prof
+		kept.Run(steps)
+		r := prof.Report()
+		predicted := critpath.PredictEndFold(&r)
+		kept.Observer = nil
+		kept.Arrivals = nil
+
+		folded.Run(2) // warm-up to match the kept solver's state
+		timed := func(s *cubesolver.Solver) time.Duration {
+			t0 := time.Now()
+			s.Run(steps)
+			return time.Since(t0)
+		}
+		var bestKept, bestFold time.Duration
+		for rep := 0; rep < 5; rep++ {
+			var k, f time.Duration
+			if rep%2 == 0 {
+				k, f = timed(kept), timed(folded)
+			} else {
+				f, k = timed(folded), timed(kept)
+			}
+			if bestKept == 0 || k < bestKept {
+				bestKept = k
+			}
+			if bestFold == 0 || f < bestFold {
+				bestFold = f
+			}
+		}
+		kept.Close()
+		folded.Close()
+
+		mlups := func(d time.Duration) float64 { return nodes * float64(steps) / d.Seconds() / 1e6 }
+		mKept, mFold := mlups(bestKept), mlups(bestFold)
+		realized := 0.0
+		if mKept > 0 {
+			realized = 100 * (mFold/mKept - 1)
+		}
+		record := func(name string, d time.Duration, m float64, pred, real float64) {
+			res.Rows = append(res.Rows, ImbalanceRow{
+				Engine: name, Threads: threads,
+				Millis: float64(d.Milliseconds()), MLUPS: m,
+				PredictedSpeedupPct: pred, RealizedSpeedupPct: real,
+			})
+			if reg != nil {
+				reg.Gauge("lbmib_bench_mlups", "Throughput per engine (million lattice updates per second).",
+					telemetry.L("engine", name)).Set(m)
+			}
+		}
+		record(fmt.Sprintf("cube-keep-t%d", threads), bestKept, mKept, 0, 0)
+		record(fmt.Sprintf("cube-fold-t%d", threads), bestFold, mFold, predicted, realized)
+	}
+	return res, nil
+}
+
+// Render formats the kept/folded table with the predicted-vs-realized
+// comparison.
+func (r BarrierFoldResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "barrier fold: cube end-of-step, fluid-only %d×%d×%d, %d steps (proof: lbmib-lint -fusibility)\n",
+		r.NX, r.NY, r.NZ, r.Steps)
+	fmt.Fprintf(&b, "%-16s %8s %10s %10s %12s %12s\n",
+		"engine", "threads", "ms", "MLUPS", "predicted", "realized")
+	for _, row := range r.Rows {
+		pred, real := "", ""
+		if row.PredictedSpeedupPct != 0 || row.RealizedSpeedupPct != 0 { //lint:allow floatcheck -- zero is the "foil row" sentinel, not a computed value
+			pred = fmt.Sprintf("%+.2f%%", row.PredictedSpeedupPct)
+			real = fmt.Sprintf("%+.2f%%", row.RealizedSpeedupPct)
+		}
+		fmt.Fprintf(&b, "%-16s %8d %10.1f %10.2f %12s %12s\n",
+			row.Engine, row.Threads, row.Millis, row.MLUPS, pred, real)
+	}
+	b.WriteString("(kept = end-of-step barrier forced back in; fold gains are sync-cost sized, so noise-prone at small grids)\n")
+	return b.String()
+}
+
+// BenchFromBarrierFold packages the kept/folded pairs for persistence
+// (kind "barrierfold"), comparable across PRs with lbmib-benchcmp.
+func BenchFromBarrierFold(r BarrierFoldResult) BenchFile {
+	return BenchFile{
+		Schema: BenchSchema, Kind: "barrierfold",
+		Grid: [3]int{r.NX, r.NY, r.NZ}, CubeSize: r.CubeSize,
+		Threads: 8, Steps: r.Steps,
+		Results: r.Rows,
+	}
+}

@@ -156,6 +156,33 @@ func CompareBench(base, cur BenchFile, tol BenchTolerance) []string {
 // critical-path investigation.
 const BarrierShareTripwire = 0.60
 
+// FoldShortfallTripwire is the warn-only realized-vs-predicted floor
+// for barrier-fold rows: a fold realizing less than half of perfsim's
+// predicted gain means either the prediction's sync-cost estimate or
+// the fold itself deserves a look. Folds are sync-cost sized, so on
+// small grids this fires on noise — which is why it warns, not fails.
+const FoldShortfallTripwire = 0.50
+
+// FoldInvariants scans barrier-fold rows for predicted-vs-realized
+// shortfalls beyond FoldShortfallTripwire. Predictions under half a
+// percent are below the timing noise floor and skipped — a shortfall
+// ratio against a near-zero denominator means nothing. Warn-only.
+func FoldInvariants(b BenchFile) []string {
+	var warns []string
+	for _, r := range b.Results {
+		if r.PredictedSpeedupPct <= 0.5 {
+			continue
+		}
+		shortfall := (r.PredictedSpeedupPct - r.RealizedSpeedupPct) / r.PredictedSpeedupPct
+		if shortfall > FoldShortfallTripwire {
+			warns = append(warns, fmt.Sprintf(
+				"%s: fold realized %+.2f%% of a predicted %+.2f%% speedup (shortfall %.0f%% > %.0f%%) — re-profile with lbmib-profile -critpath or re-check the fold's fusibility proof",
+				r.Engine, r.RealizedSpeedupPct, r.PredictedSpeedupPct, 100*shortfall, 100*FoldShortfallTripwire))
+		}
+	}
+	return warns
+}
+
 // BarrierShareInvariants scans any benchmark's rows for pathological
 // barrier-wait shares and returns warn-only findings pointing at the
 // critical-path profiler. A share above BarrierShareTripwire means the

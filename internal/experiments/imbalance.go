@@ -40,6 +40,12 @@ type ImbalanceRow struct {
 	// ratio, keyed by phase/kernel name; phases with no samples are
 	// omitted.
 	PhaseImbalance map[string]float64 `json:"phaseImbalance,omitempty"`
+	// PredictedSpeedupPct and RealizedSpeedupPct carry the barrierfold
+	// experiment's prove-then-fold verification: perfsim's predicted
+	// gain of removing the folded barrier versus the gain the folded run
+	// actually measured against its barrier-kept foil. Zero elsewhere.
+	PredictedSpeedupPct float64 `json:"predictedSpeedupPct,omitempty"`
+	RealizedSpeedupPct  float64 `json:"realizedSpeedupPct,omitempty"`
 }
 
 // ImbalanceResult is the OpenMP-vs-cube contention comparison on one

@@ -27,8 +27,13 @@ import (
 // single-threaded configurations measure no scheduling overhead — matching
 // how a 1-thread OpenMP program behaves.
 type Team struct {
-	n      int
-	work   []chan func()
+	n int
+	// fn is the current region body. Run stores it before signaling the
+	// workers and clears it after the join, so dispatching a region
+	// allocates nothing — sending per-dispatch closures over the work
+	// channels would heap-allocate one closure per worker per region.
+	fn     func(tid int)
+	work   []chan struct{}
 	wg     sync.WaitGroup // tracks outstanding work items
 	closed bool
 }
@@ -43,13 +48,14 @@ func NewTeam(n int) *Team {
 	if n == 1 {
 		return t
 	}
-	t.work = make([]chan func(), n)
+	t.work = make([]chan struct{}, n)
 	for i := 0; i < n; i++ {
-		ch := make(chan func(), 1)
+		ch := make(chan struct{}, 1)
 		t.work[i] = ch
+		tid := i
 		go func() {
-			for fn := range ch {
-				fn()
+			for range ch {
+				t.fn(tid)
 				t.wg.Done()
 			}
 		}()
@@ -68,12 +74,13 @@ func (t *Team) Run(fn func(tid int)) {
 		fn(0)
 		return
 	}
+	t.fn = fn
 	t.wg.Add(t.n)
 	for i := 0; i < t.n; i++ {
-		tid := i
-		t.work[i] <- func() { fn(tid) }
+		t.work[i] <- struct{}{}
 	}
 	t.wg.Wait()
+	t.fn = nil
 }
 
 // Close shuts the workers down. The team must be idle. Close is idempotent.

@@ -30,6 +30,16 @@ go vet -stdmethods=false ./...
 scripts/lint ./...
 go test -run 'TestAnalyzersGoldenCorpus|TestLintSelfHost' ./internal/analysis/
 
+# Barrier fusibility coverage gate: the phase-effect engine must classify
+# every barrier site of all three engines as required or fusible (exit 1
+# on any unclassified site or fold-legality diagnostic), and the freshly
+# derived report must match the committed one byte for byte — a fold or
+# kernel change that shifts a verdict must re-commit its proof.
+FUSEOUT=$(mktemp)
+go run ./cmd/lbmib-lint -fusibility -o "$FUSEOUT"
+cmp FUSE_report.json "$FUSEOUT"
+rm -f "$FUSEOUT"
+
 go test -race ./internal/telemetry/... ./internal/cubesolver/... ./internal/omp/... ./internal/fused/... ./internal/soa/... ./internal/taskflow/... ./internal/cluster/... ./internal/perfmon/... ./internal/par/... ./internal/flightrec/... ./internal/critpath/... ./internal/perfsim/...
 
 # Cross-engine differential smoke: 10 seeded cases on every engine,
@@ -47,6 +57,10 @@ go test -run '^$' -fuzz '^FuzzRestore$' -fuzztime 10s .
 # Lint loader fuzz smoke: arbitrary bytes through the single-file
 # analysis pipeline must never panic either.
 go test -run '^$' -fuzz '^FuzzLintParse$' -fuzztime 5s ./internal/analysis/
+
+# Fusibility report fuzz smoke: arbitrary bytes through the report
+# decoder must never panic and must round-trip when they validate.
+go test -run '^$' -fuzz '^FuzzFusibilityReport$' -fuzztime 5s ./internal/fusereport/
 
 # Load-imbalance bench smoke: emit a fresh schema-versioned benchmark
 # and diff it against the committed baseline (warn-only drift tripwire;
@@ -104,4 +118,12 @@ rm -f "$CPOUT"
 # against the committed baseline (warn-only drift, budget 2%).
 go run ./cmd/lbmib-bench -exp critpath -out BENCH_smoke.json
 scripts/bench_compare BENCH_pr9.json BENCH_smoke.json
+rm -f BENCH_smoke.json
+
+# Barrier-fold bench smoke: the proven end-of-step fold against its
+# barrier-kept foil, diffed against the committed baseline. The
+# realized-vs-predicted shortfall check inside is warn-only (fold gains
+# are sync-cost sized and noise-prone); schema/structure checks fail.
+go run ./cmd/lbmib-bench -exp barrierfold -steps 40 -out BENCH_smoke.json
+scripts/bench_compare BENCH_pr10.json BENCH_smoke.json
 rm -f BENCH_smoke.json
